@@ -1,0 +1,78 @@
+"""Counting query answers on a synthetic social network.
+
+Run with ``python examples/social_network.py``.
+
+The paper motivates answer counting with decision-support queries over
+large data; this example plays that scenario on a synthetic
+follows-graph: how many follower-of-follower pairs are there, how many
+pairs follow each other inside the same community, and so on.  It also
+compares the paper-pipeline counting strategy against the naive
+enumeration baseline on growing data.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import count_answers
+from repro.workloads import social_network
+
+
+def report_counts() -> None:
+    scenario = social_network(people=40, follow_probability=0.06, seed=7)
+    structure = scenario.structure()
+    print(f"Database: {scenario.database!r}")
+    print(f"Universe size: {structure.size}, total rows: {scenario.database.total_rows()}")
+    print()
+    print(f"{'query':>28} | {'answers':>9}")
+    print("-" * 42)
+    for name, query in scenario.queries.items():
+        count = query.count(structure)
+        print(f"{name:>28} | {count:>9}")
+    print()
+
+
+def scaling_comparison() -> None:
+    """Compare the paper pipeline against naive enumeration on a 4-ary query.
+
+    The follows-chain query has four output variables, so the naive
+    baseline enumerates ``|universe|**4`` assignments while the pipeline
+    counts along a treewidth-1 decomposition; the gap widens rapidly
+    with the number of people.
+    """
+    from repro.db import parse_ucq
+
+    chain = parse_ucq(
+        "Chain(x, y, z, w) :- Follows(x, y), Follows(y, z), Follows(z, w)."
+    ).to_ep()
+    print("Scaling: paper pipeline ('auto') vs naive enumeration on a 4-variable chain query")
+    print(f"{'people':>7} | {'auto (s)':>9} | {'naive (s)':>10} | {'answers':>9}")
+    print("-" * 46)
+    for people in (8, 12, 16, 20):
+        scenario = social_network(people=people, follow_probability=0.15, seed=11)
+        structure = scenario.structure()
+
+        start = time.perf_counter()
+        fast = count_answers(chain, structure, strategy="auto")
+        fast_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        slow = count_answers(chain, structure, strategy="naive")
+        slow_seconds = time.perf_counter() - start
+
+        assert fast == slow, "strategies disagree -- this is a bug"
+        print(f"{people:>7} | {fast_seconds:>9.4f} | {slow_seconds:>10.4f} | {fast:>9}")
+    print()
+    print("The naive strategy enumerates |universe|^4 assignments; the paper")
+    print("pipeline counts along a treewidth-1 decomposition of the query, so")
+    print("its cost grows with the data's edge count rather than the fourth")
+    print("power of the universe size.")
+
+
+def main() -> None:
+    report_counts()
+    scaling_comparison()
+
+
+if __name__ == "__main__":
+    main()

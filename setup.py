@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+that editable installs work in offline environments where the ``wheel``
+package is unavailable (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

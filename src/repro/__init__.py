@@ -1,0 +1,98 @@
+"""repro: counting answers to existential positive queries.
+
+A from-scratch implementation of the algorithms and complexity
+classification of
+
+    Hubie Chen and Stefan Mengel,
+    "Counting Answers to Existential Positive Queries:
+     A Complexity Classification", PODS 2016 (arXiv:1601.03240).
+
+The package counts the answers to unions of conjunctive queries
+(existential positive formulas) on finite relational structures,
+implements the paper's equivalence theorem (EP-to-PP reductions via
+inclusion-exclusion and Vandermonde systems), and classifies query
+classes into the trichotomy FPT / p-Clique-equivalent / p-#Clique-hard.
+
+Quickstart
+----------
+>>> from repro import Structure, count_answers
+>>> graph = Structure.from_relations({"E": [(1, 2), (2, 3), (3, 1)]})
+>>> count_answers("exists z. (E(x, z) & E(z, y))", graph)
+3
+"""
+
+from repro.exceptions import ReproError
+from repro.logic import (
+    Atom,
+    EPFormula,
+    PPFormula,
+    QueryBuilder,
+    RelationSymbol,
+    Signature,
+    UnionQueryBuilder,
+    Variable,
+    parse_formula,
+    parse_query,
+    pp_from_atom_specs,
+)
+from repro.structures import (
+    Structure,
+    StructureBuilder,
+    direct_product,
+    disjoint_union,
+    random_graph,
+    random_structure,
+)
+from repro.core import (
+    Case,
+    Classification,
+    classify_ep_class,
+    classify_pp_class,
+    classify_query,
+    count_answers,
+    count_answers_all_strategies,
+    counting_equivalent,
+    plus_set,
+    semi_counting_equivalent,
+    star_decomposition,
+)
+from repro.db import ConjunctiveQuery, Database, Relation, UnionOfConjunctiveQueries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Atom",
+    "EPFormula",
+    "PPFormula",
+    "QueryBuilder",
+    "RelationSymbol",
+    "Signature",
+    "UnionQueryBuilder",
+    "Variable",
+    "parse_formula",
+    "parse_query",
+    "pp_from_atom_specs",
+    "Structure",
+    "StructureBuilder",
+    "direct_product",
+    "disjoint_union",
+    "random_graph",
+    "random_structure",
+    "Case",
+    "Classification",
+    "classify_ep_class",
+    "classify_pp_class",
+    "classify_query",
+    "count_answers",
+    "count_answers_all_strategies",
+    "counting_equivalent",
+    "plus_set",
+    "semi_counting_equivalent",
+    "star_decomposition",
+    "ConjunctiveQuery",
+    "Database",
+    "Relation",
+    "UnionOfConjunctiveQueries",
+    "__version__",
+]

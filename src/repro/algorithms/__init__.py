@@ -1,0 +1,85 @@
+"""Algorithms substrate: counting, decompositions, treewidth, cliques."""
+
+from repro.algorithms.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_ordering,
+    trivial_decomposition,
+)
+from repro.algorithms.treewidth import (
+    min_degree_ordering,
+    min_fill_ordering,
+    treewidth,
+    treewidth_exact,
+    treewidth_upper_bound,
+    width_of_ordering,
+)
+from repro.algorithms.csp import (
+    Constraint,
+    CSPInstance,
+    count_solutions,
+    count_solutions_backtracking,
+    count_solutions_decomposition,
+)
+from repro.algorithms.brute_force import (
+    count_answers_naive,
+    count_ep_answers_by_disjuncts,
+    count_pp_answers_brute_force,
+    enumerate_answers_naive,
+    satisfies,
+)
+from repro.algorithms.homomorphism_counting import (
+    count_extensions,
+    count_homomorphisms_decomposed,
+)
+from repro.algorithms.fpt_counting import (
+    ExistsComponent,
+    StructuralReport,
+    contract_graph,
+    count_pp_answers_fpt,
+    exists_components,
+    structural_report,
+)
+from repro.algorithms.clique import (
+    answers_to_clique_count,
+    clique_query,
+    clique_query_family,
+    count_cliques,
+    enumerate_cliques,
+    has_clique,
+)
+
+__all__ = [
+    "TreeDecomposition",
+    "decomposition_from_elimination_ordering",
+    "trivial_decomposition",
+    "min_degree_ordering",
+    "min_fill_ordering",
+    "treewidth",
+    "treewidth_exact",
+    "treewidth_upper_bound",
+    "width_of_ordering",
+    "Constraint",
+    "CSPInstance",
+    "count_solutions",
+    "count_solutions_backtracking",
+    "count_solutions_decomposition",
+    "count_answers_naive",
+    "count_ep_answers_by_disjuncts",
+    "count_pp_answers_brute_force",
+    "enumerate_answers_naive",
+    "satisfies",
+    "count_extensions",
+    "count_homomorphisms_decomposed",
+    "ExistsComponent",
+    "StructuralReport",
+    "contract_graph",
+    "count_pp_answers_fpt",
+    "exists_components",
+    "structural_report",
+    "answers_to_clique_count",
+    "clique_query",
+    "clique_query_family",
+    "count_cliques",
+    "enumerate_cliques",
+    "has_clique",
+]

@@ -1,0 +1,233 @@
+"""Treewidth computation: exact for small graphs, heuristic otherwise.
+
+The classification machinery needs the treewidth of two graphs derived
+from each query: the graph of its core and its contract graph.  Both are
+formula-sized (their vertices are query variables), so an exact
+exponential algorithm is perfectly adequate; heuristics are provided for
+experiments on larger synthetic graphs and as a fast upper bound.
+
+Exact algorithm
+---------------
+The dynamic program of Bodlaender et al. over subsets of vertices: for a
+subset ``S`` already eliminated, ``tw(S)`` is the minimum over the next
+vertex ``v`` of ``max(tw(S \\ {v}), q(S \\ {v}, v))`` where ``q(S', v)``
+counts the vertices outside ``S'`` adjacent to ``v`` *through* ``S'``
+(i.e. reachable from ``v`` via internal vertices in ``S'``).  Runs in
+``O*(2^n)`` and is used up to ``exact_threshold`` vertices.
+
+Heuristics
+----------
+Min-degree and min-fill elimination orderings, returning both an upper
+bound and the corresponding tree decomposition.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.algorithms.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_ordering,
+    trivial_decomposition,
+)
+from repro.exceptions import DecompositionError
+
+Vertex = Hashable
+
+#: Default number of vertices up to which the exact algorithm is used.
+DEFAULT_EXACT_THRESHOLD = 13
+
+
+# ----------------------------------------------------------------------
+# Elimination-ordering heuristics
+# ----------------------------------------------------------------------
+def min_degree_ordering(graph: nx.Graph) -> list[Vertex]:
+    """The min-degree elimination ordering."""
+    working = graph.copy()
+    ordering: list[Vertex] = []
+    while working.nodes:
+        vertex = min(working.nodes, key=lambda v: (working.degree(v), repr(v)))
+        neighbors = list(working.neighbors(vertex))
+        for i, left in enumerate(neighbors):
+            for right in neighbors[i + 1 :]:
+                working.add_edge(left, right)
+        working.remove_node(vertex)
+        ordering.append(vertex)
+    return ordering
+
+
+def min_fill_ordering(graph: nx.Graph) -> list[Vertex]:
+    """The min-fill elimination ordering (minimize edges added per step)."""
+    working = graph.copy()
+    ordering: list[Vertex] = []
+
+    def fill_in(vertex: Vertex) -> int:
+        neighbors = list(working.neighbors(vertex))
+        missing = 0
+        for i, left in enumerate(neighbors):
+            for right in neighbors[i + 1 :]:
+                if not working.has_edge(left, right):
+                    missing += 1
+        return missing
+
+    while working.nodes:
+        vertex = min(working.nodes, key=lambda v: (fill_in(v), working.degree(v), repr(v)))
+        neighbors = list(working.neighbors(vertex))
+        for i, left in enumerate(neighbors):
+            for right in neighbors[i + 1 :]:
+                working.add_edge(left, right)
+        working.remove_node(vertex)
+        ordering.append(vertex)
+    return ordering
+
+
+def width_of_ordering(graph: nx.Graph, ordering: Sequence[Vertex]) -> int:
+    """The width induced by an elimination ordering (max back-degree)."""
+    working = graph.copy()
+    width = 0
+    for vertex in ordering:
+        neighbors = list(working.neighbors(vertex))
+        width = max(width, len(neighbors))
+        for i, left in enumerate(neighbors):
+            for right in neighbors[i + 1 :]:
+                working.add_edge(left, right)
+        working.remove_node(vertex)
+    return width
+
+
+def treewidth_upper_bound(graph: nx.Graph, heuristic: str = "min_fill") -> tuple[int, TreeDecomposition]:
+    """A heuristic upper bound on treewidth plus a witnessing decomposition.
+
+    ``heuristic`` is ``"min_fill"`` (default) or ``"min_degree"``.
+    """
+    if graph.number_of_nodes() == 0:
+        return -1, trivial_decomposition(graph)
+    if heuristic == "min_fill":
+        ordering = min_fill_ordering(graph)
+    elif heuristic == "min_degree":
+        ordering = min_degree_ordering(graph)
+    else:
+        raise DecompositionError(f"unknown heuristic {heuristic!r}")
+    decomposition = decomposition_from_elimination_ordering(graph, ordering)
+    return decomposition.width, decomposition
+
+
+# ----------------------------------------------------------------------
+# Exact treewidth
+# ----------------------------------------------------------------------
+def _exact_treewidth_value(graph: nx.Graph) -> int:
+    """Exact treewidth via subset dynamic programming."""
+    vertices = sorted(graph.nodes, key=repr)
+    n = len(vertices)
+    if n == 0:
+        return -1
+    index_of = {v: i for i, v in enumerate(vertices)}
+    adjacency = [0] * n
+    for left, right in graph.edges:
+        adjacency[index_of[left]] |= 1 << index_of[right]
+        adjacency[index_of[right]] |= 1 << index_of[left]
+
+    def q(eliminated: int, vertex: int) -> int:
+        """Neighbors of ``vertex`` outside ``eliminated`` reachable through it."""
+        seen = 1 << vertex
+        frontier = adjacency[vertex]
+        reachable_outside = 0
+        while True:
+            new_inside = frontier & eliminated & ~seen
+            reachable_outside |= frontier & ~eliminated & ~seen
+            if not new_inside:
+                break
+            seen |= new_inside
+            next_frontier = 0
+            bits = new_inside
+            while bits:
+                low = bits & -bits
+                next_frontier |= adjacency[low.bit_length() - 1]
+                bits ^= low
+            frontier = next_frontier
+        return bin(reachable_outside).count("1")
+
+    from functools import lru_cache as _cache
+
+    @_cache(maxsize=None)
+    def tw(eliminated: int) -> int:
+        if eliminated == 0:
+            return -1
+        best = n
+        bits = eliminated
+        while bits:
+            low = bits & -bits
+            vertex = low.bit_length() - 1
+            bits ^= low
+            remaining = eliminated ^ low
+            candidate = max(tw(remaining), q(remaining, vertex))
+            if candidate < best:
+                best = candidate
+        return best
+
+    return tw((1 << n) - 1)
+
+
+def _optimal_ordering(graph: nx.Graph, target_width: int) -> list[Vertex]:
+    """Recover an elimination ordering of width ``target_width`` greedily.
+
+    Repeatedly pick a vertex whose elimination keeps the remaining
+    graph's exact treewidth at most ``target_width`` and whose current
+    degree is at most ``target_width``.
+    """
+    working = graph.copy()
+    ordering: list[Vertex] = []
+    while working.nodes:
+        placed = False
+        for vertex in sorted(working.nodes, key=lambda v: (working.degree(v), repr(v))):
+            if working.degree(vertex) > target_width:
+                continue
+            candidate = working.copy()
+            neighbors = list(candidate.neighbors(vertex))
+            for i, left in enumerate(neighbors):
+                for right in neighbors[i + 1 :]:
+                    candidate.add_edge(left, right)
+            candidate.remove_node(vertex)
+            if _exact_treewidth_value(candidate) <= target_width:
+                working = candidate
+                ordering.append(vertex)
+                placed = True
+                break
+        if not placed:
+            raise DecompositionError(
+                "failed to recover an optimal elimination ordering; "
+                "this indicates a bug in the exact treewidth computation"
+            )
+    return ordering
+
+
+def treewidth_exact(graph: nx.Graph) -> tuple[int, TreeDecomposition]:
+    """The exact treewidth and an optimal tree decomposition."""
+    if graph.number_of_nodes() == 0:
+        return -1, trivial_decomposition(graph)
+    width = _exact_treewidth_value(graph)
+    ordering = _optimal_ordering(graph, width)
+    decomposition = decomposition_from_elimination_ordering(graph, ordering)
+    return width, decomposition
+
+
+def treewidth(
+    graph: nx.Graph,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+) -> tuple[int, TreeDecomposition]:
+    """Treewidth of ``graph``: exact when small, best heuristic otherwise.
+
+    Returns ``(width, decomposition)``.  For graphs with at most
+    ``exact_threshold`` vertices the result is exact; otherwise it is the
+    better of the min-fill and min-degree upper bounds.
+    """
+    if graph.number_of_nodes() <= exact_threshold:
+        return treewidth_exact(graph)
+    fill_width, fill_decomposition = treewidth_upper_bound(graph, "min_fill")
+    degree_width, degree_decomposition = treewidth_upper_bound(graph, "min_degree")
+    if fill_width <= degree_width:
+        return fill_width, fill_decomposition
+    return degree_width, degree_decomposition

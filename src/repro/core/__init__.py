@@ -1,0 +1,105 @@
+"""The paper's core contribution: equivalence, reductions, classification."""
+
+from repro.core.counting import (
+    STRATEGIES,
+    count_answers,
+    count_answers_all_strategies,
+    make_counter,
+)
+from repro.core.equivalence import (
+    counting_equivalent,
+    counting_equivalent_on,
+    group_by_counting_equivalence,
+    renaming_equivalent,
+    renaming_witness,
+)
+from repro.core.semi_equivalence import (
+    group_by_semi_counting_equivalence,
+    semi_counting_equivalent,
+    semi_counting_equivalent_on,
+)
+from repro.core.distinguishing import (
+    find_distinguishing_structure,
+    find_distinguishing_structure_for_classes,
+    separating_structure,
+    uniquely_satisfied_structure,
+)
+from repro.core.inclusion_exclusion import (
+    LinearCombination,
+    Term,
+    cancel,
+    count_by_inclusion_exclusion,
+    raw_inclusion_exclusion,
+    star_decomposition,
+    star_set,
+)
+from repro.core.ep_to_pp import (
+    PlusDecomposition,
+    count_ep_answers_via_plus,
+    plus_decomposition,
+    plus_set,
+    plus_set_for_class,
+    sentence_holds,
+)
+from repro.core.oracle_reduction import (
+    OracleCallCounter,
+    StarCountRecovery,
+    count_pp_via_ep_oracle,
+    make_brute_force_oracle,
+    recover_star_counts,
+    solve_vandermonde_system,
+)
+from repro.core.classification import (
+    Case,
+    Classification,
+    FormulaMeasures,
+    classify_ep_class,
+    classify_pp_class,
+    classify_query,
+    measure_pp_class,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "count_answers",
+    "count_answers_all_strategies",
+    "make_counter",
+    "counting_equivalent",
+    "counting_equivalent_on",
+    "group_by_counting_equivalence",
+    "renaming_equivalent",
+    "renaming_witness",
+    "group_by_semi_counting_equivalence",
+    "semi_counting_equivalent",
+    "semi_counting_equivalent_on",
+    "find_distinguishing_structure",
+    "find_distinguishing_structure_for_classes",
+    "separating_structure",
+    "uniquely_satisfied_structure",
+    "LinearCombination",
+    "Term",
+    "cancel",
+    "count_by_inclusion_exclusion",
+    "raw_inclusion_exclusion",
+    "star_decomposition",
+    "star_set",
+    "PlusDecomposition",
+    "count_ep_answers_via_plus",
+    "plus_decomposition",
+    "plus_set",
+    "plus_set_for_class",
+    "sentence_holds",
+    "OracleCallCounter",
+    "StarCountRecovery",
+    "count_pp_via_ep_oracle",
+    "make_brute_force_oracle",
+    "recover_star_counts",
+    "solve_vandermonde_system",
+    "Case",
+    "Classification",
+    "FormulaMeasures",
+    "classify_ep_class",
+    "classify_pp_class",
+    "classify_query",
+    "measure_pp_class",
+]

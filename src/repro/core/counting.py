@@ -1,0 +1,138 @@
+"""Counting answers to queries: the library's main entry point.
+
+:func:`count_answers` counts the satisfying assignments (over the
+liberal variables) of an existential positive query on a finite
+structure.  Several strategies are available; ``"auto"`` (the default)
+follows the paper's pipeline:
+
+* primitive positive queries are counted with the Theorem 2.11
+  algorithm (core + ∃-component elimination + junction-tree counting),
+  which is polynomial in the data for bounded-treewidth query classes;
+* general EP queries go through the Section 5.4 decomposition: if some
+  sentence disjunct holds the answer is ``|B|^|V|``; otherwise the
+  cancelled inclusion-exclusion combination of ``phi*`` is evaluated,
+  with each pp-count computed by the Theorem 2.11 algorithm.
+
+The naive strategies are retained as independent baselines for testing
+and benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.algorithms.brute_force import (
+    count_answers_naive,
+    count_ep_answers_by_disjuncts,
+    count_pp_answers_brute_force,
+)
+from repro.algorithms.fpt_counting import count_pp_answers_fpt
+from repro.core.ep_to_pp import count_ep_answers_via_plus, plus_decomposition
+from repro.core.inclusion_exclusion import count_by_inclusion_exclusion
+from repro.exceptions import ReproError
+from repro.logic.ep import EPFormula
+from repro.logic.parser import parse_query
+from repro.logic.pp import PPFormula
+from repro.structures.structure import Structure
+
+Query = Union[EPFormula, PPFormula, str]
+
+#: The available counting strategies.
+STRATEGIES = ("auto", "fpt", "inclusion-exclusion", "disjuncts", "naive")
+
+
+def _as_ep(query: Query) -> EPFormula:
+    if isinstance(query, str):
+        return parse_query(query)
+    if isinstance(query, PPFormula):
+        return EPFormula.from_pp(query)
+    if isinstance(query, EPFormula):
+        return query
+    raise ReproError(f"cannot interpret {query!r} as a query")
+
+
+def count_answers(
+    query: Query,
+    structure: Structure,
+    strategy: str = "auto",
+) -> int:
+    """Count the answers ``|query(structure)|``.
+
+    Parameters
+    ----------
+    query:
+        An :class:`~repro.logic.ep.EPFormula`, a
+        :class:`~repro.logic.pp.PPFormula`, or query text understood by
+        :func:`repro.logic.parser.parse_query`.
+    structure:
+        The finite relational structure (database) to count over.
+    strategy:
+        One of ``"auto"``, ``"fpt"``, ``"inclusion-exclusion"``,
+        ``"disjuncts"``, ``"naive"``.
+
+        * ``auto`` -- the paper's pipeline (recommended).
+        * ``fpt`` -- force the Theorem 2.11 pp-algorithm (the query must
+          be primitive positive).
+        * ``inclusion-exclusion`` -- force the Section 5.3/5.4 reduction
+          to pp-formulas, with FPT counting of each pp-formula.
+        * ``disjuncts`` -- materialize the union of the disjuncts'
+          answer sets (baseline).
+        * ``naive`` -- enumerate all ``|B|^|V|`` assignments (baseline).
+    """
+    if strategy not in STRATEGIES:
+        raise ReproError(f"unknown strategy {strategy!r}; choose one of {STRATEGIES}")
+
+    if strategy == "naive":
+        return count_answers_naive(_as_ep(query), structure)
+    if strategy == "disjuncts":
+        return count_ep_answers_by_disjuncts(_as_ep(query), structure)
+
+    if isinstance(query, str):
+        query = parse_query(query)
+
+    if strategy == "fpt":
+        if isinstance(query, EPFormula):
+            if not query.is_primitive_positive():
+                raise ReproError(
+                    "strategy 'fpt' applies to primitive positive queries only; "
+                    "use 'auto' or 'inclusion-exclusion' for unions"
+                )
+            query = query.to_pp()
+        return count_pp_answers_fpt(query, structure)
+
+    # auto / inclusion-exclusion
+    if isinstance(query, PPFormula):
+        return count_pp_answers_fpt(query, structure)
+    if query.is_primitive_positive():
+        return count_pp_answers_fpt(query.to_pp(), structure)
+    return count_ep_answers_via_plus(query, structure, counter=count_pp_answers_fpt)
+
+
+def count_answers_all_strategies(query: Query, structure: Structure) -> dict[str, int]:
+    """Count with every applicable strategy; used for cross-validation.
+
+    Returns a mapping from strategy name to count.  All values must
+    agree for a correct implementation; the test-suite asserts this on
+    randomized inputs.
+    """
+    ep = _as_ep(query)
+    out = {
+        "naive": count_answers_naive(ep, structure),
+        "disjuncts": count_ep_answers_by_disjuncts(ep, structure),
+        "auto": count_answers(ep, structure, strategy="auto"),
+    }
+    if ep.is_primitive_positive():
+        out["fpt"] = count_pp_answers_fpt(ep.to_pp(), structure)
+        out["pp-bruteforce"] = count_pp_answers_brute_force(ep.to_pp(), structure)
+    else:
+        out["inclusion-exclusion"] = count_answers(ep, structure, strategy="inclusion-exclusion")
+    return out
+
+
+def make_counter(strategy: str = "auto") -> Callable[[Query, Structure], int]:
+    """A counting callable with the strategy baked in (for harness code)."""
+
+    def counter(query: Query, structure: Structure) -> int:
+        return count_answers(query, structure, strategy=strategy)
+
+    return counter

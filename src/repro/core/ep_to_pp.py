@@ -1,0 +1,174 @@
+"""The general EP-to-PP construction ``phi -> phi+`` (Section 5.4).
+
+Section 5.3 handles *all-free* EP formulas (every disjunct has a free
+variable) through inclusion-exclusion; Section 5.4 lifts the result to
+arbitrary EP formulas, whose disjuncts may also be pp-*sentences*.  The
+construction, for a normalized EP formula ``phi`` with liberal variables
+``V``:
+
+* ``phi_af`` -- the all-free part: the disjunction of the free disjuncts;
+* ``phi*_af`` -- the set from Proposition 5.16 applied to ``phi_af``;
+* ``phi-_af`` -- the formulas of ``phi*_af`` that do **not** logically
+  entail any sentence disjunct of ``phi``;
+* ``phi+`` -- the union of ``phi-_af`` with the sentence disjuncts.
+
+Theorem 3.1 states that counting answers to ``phi`` and counting answers
+to the formulas of ``phi+`` are interreducible; the reductions
+themselves live in :mod:`repro.core.oracle_reduction`.  This module
+computes the sets and the forward counting algorithm (the direction
+used by :func:`repro.core.counting.count_answers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.inclusion_exclusion import (
+    DEFAULT_MAX_DISJUNCTS,
+    LinearCombination,
+    PPCounter,
+    Term,
+    star_decomposition,
+)
+from repro.exceptions import FormulaError
+from repro.logic.ep import EPFormula
+from repro.logic.pp import PPFormula
+from repro.structures.homomorphism import has_homomorphism
+from repro.structures.structure import Structure
+
+
+@dataclass(frozen=True)
+class PlusDecomposition:
+    """The full output of the Section 5.4 construction for one EP formula.
+
+    Attributes
+    ----------
+    query:
+        The (normalized) EP formula the decomposition was computed for.
+    sentence_disjuncts:
+        The pp-sentence disjuncts of the normalized formula.
+    star:
+        The cancelled inclusion-exclusion combination of the all-free
+        part (empty when the formula has no free disjunct).
+    minus:
+        ``phi-_af``: the star formulas that entail no sentence disjunct.
+    plus:
+        ``phi+ = phi-_af ∪ sentence_disjuncts``.
+    """
+
+    query: EPFormula
+    sentence_disjuncts: tuple[PPFormula, ...]
+    star: LinearCombination
+    minus: tuple[PPFormula, ...]
+    plus: tuple[PPFormula, ...]
+
+
+def entails_some_sentence(formula: PPFormula, sentences: Sequence[PPFormula]) -> bool:
+    """True if ``formula`` logically entails at least one of ``sentences``."""
+    return any(formula.entails(sentence) for sentence in sentences)
+
+
+def plus_decomposition(
+    query: EPFormula, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+) -> PlusDecomposition:
+    """Compute ``phi+`` and the associated bookkeeping (Section 5.4).
+
+    The query is normalized first (Section 2.1): disjuncts that entail a
+    sentence disjunct are dropped, which both matches the paper's
+    assumption and keeps the inclusion-exclusion expansion small.
+    """
+    normalized_disjuncts = query.normalized_disjuncts()
+    normalized = EPFormula.from_disjuncts(list(normalized_disjuncts))
+    sentences = tuple(d for d in normalized.disjuncts() if d.is_sentence())
+    free = tuple(d for d in normalized.disjuncts() if d.is_free())
+    if free:
+        all_free = EPFormula.from_disjuncts(list(free))
+        star = star_decomposition(all_free, max_disjuncts=max_disjuncts)
+    else:
+        star = LinearCombination(())
+    minus = tuple(
+        formula
+        for formula in star.formulas()
+        if not entails_some_sentence(formula, sentences)
+    )
+    plus = minus + sentences
+    return PlusDecomposition(
+        query=normalized,
+        sentence_disjuncts=sentences,
+        star=star,
+        minus=minus,
+        plus=plus,
+    )
+
+
+def plus_set(query: EPFormula, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS) -> tuple[PPFormula, ...]:
+    """The set ``phi+`` of prenex pp-formulas from Theorem 3.1."""
+    return plus_decomposition(query, max_disjuncts=max_disjuncts).plus
+
+
+def plus_set_for_class(
+    queries: Sequence[EPFormula], max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+) -> list[PPFormula]:
+    """``Phi+``: the union of ``phi+`` over a class of EP formulas.
+
+    Deduplicates syntactically equal formulas while preserving order.
+    """
+    seen: set[PPFormula] = set()
+    out: list[PPFormula] = []
+    for query in queries:
+        for formula in plus_set(query, max_disjuncts=max_disjuncts):
+            if formula not in seen:
+                seen.add(formula)
+                out.append(formula)
+    return out
+
+
+def sentence_holds(sentence: PPFormula, structure: Structure) -> bool:
+    """Does the pp-sentence hold on the structure?
+
+    Equivalent to the existence of a homomorphism from the sentence's
+    structure view into the data structure.
+    """
+    if structure.is_empty():
+        return not sentence.variables
+    return has_homomorphism(sentence.structure, structure)
+
+
+def count_ep_answers_via_plus(
+    query: EPFormula,
+    structure: Structure,
+    counter: PPCounter,
+    decomposition: PlusDecomposition | None = None,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+) -> int:
+    """Count answers to an arbitrary EP formula via its ``phi+`` decomposition.
+
+    This is the forward direction of the equivalence theorem, exactly as
+    in the proof of Theorem 3.1 (Appendix A):
+
+    1. if some sentence disjunct holds on the structure, every
+       assignment of the liberal variables is an answer, so the count is
+       ``|B| ** |V|``;
+    2. otherwise the formula agrees with its all-free part, whose count
+       is the cancelled inclusion-exclusion combination; queries for
+       star formulas that entail a (currently false) sentence disjunct
+       are answered ``0`` without consulting the backend.
+
+    ``counter`` is the pp-counting backend used for the ``phi-_af``
+    formulas.
+    """
+    if decomposition is None:
+        decomposition = plus_decomposition(query, max_disjuncts=max_disjuncts)
+    liberal = decomposition.query.liberal
+    for sentence in decomposition.sentence_disjuncts:
+        if sentence_holds(sentence, structure):
+            return len(structure.universe) ** len(liberal)
+    minus = set(decomposition.minus)
+    total = 0
+    for term in decomposition.star.terms:
+        if term.formula in minus:
+            total += term.coefficient * counter(term.formula, structure)
+        # Formulas outside phi-_af entail some sentence disjunct, which we
+        # just checked to be false on the structure, so their count is 0.
+    return total

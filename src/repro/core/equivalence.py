@@ -1,0 +1,118 @@
+"""Counting equivalence of primitive positive formulas (Theorem 5.4).
+
+Two formulas ``phi1(V1)``, ``phi2(V2)`` over the same vocabulary are
+*counting equivalent* if ``|phi1(B)| = |phi2(B)|`` for every finite
+structure ``B``.  The paper's Theorem 5.4 characterizes this semantic
+notion syntactically for pp-formulas: they are counting equivalent if
+and only if they are *renaming equivalent*, i.e. there are surjections
+``h : V1 -> V2`` and ``h' : V2 -> V1`` between the liberal-variable sets
+that extend to homomorphisms between the formula structures (in the
+respective directions).
+
+The syntactic characterization is what makes the notion usable inside
+the inclusion-exclusion machinery: it is decidable (indeed in NP), and
+this module implements the decision procedure together with helpers for
+grouping formulas into counting-equivalence classes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.logic.pp import PPFormula
+from repro.structures.homomorphism import find_surjective_renaming
+from repro.structures.structure import Structure
+
+
+def renaming_witness(first: PPFormula, second: PPFormula) -> dict | None:
+    """A surjection ``lib(first) -> lib(second)`` extendable to a homomorphism.
+
+    Returns the restriction of such a homomorphism to the liberal
+    variables of ``first``, or ``None`` if no witness exists.  This is
+    one half of renaming equivalence (Definition 5.3).
+    """
+    common = first.signature | second.signature
+    return find_surjective_renaming(
+        first.with_signature(common).structure,
+        second.with_signature(common).structure,
+        first.liberal,
+        second.liberal,
+    )
+
+
+def renaming_equivalent(first: PPFormula, second: PPFormula) -> bool:
+    """Decide renaming equivalence (Definition 5.3).
+
+    Both directions are required: a surjection ``lib(first) ->
+    lib(second)`` extendable to a homomorphism of the structures, and
+    symmetrically.  Since the surjections force ``|lib(first)| =
+    |lib(second)|``, both witnesses are in fact bijections.
+    """
+    if len(first.liberal) != len(second.liberal):
+        return False
+    if renaming_witness(first, second) is None:
+        return False
+    return renaming_witness(second, first) is not None
+
+
+def counting_equivalent(first: PPFormula, second: PPFormula) -> bool:
+    """Decide counting equivalence of two pp-formulas (Theorem 5.4).
+
+    By the paper's characterization this is exactly renaming
+    equivalence, so the check is purely syntactic/algebraic -- no
+    structure is ever evaluated.
+    """
+    return renaming_equivalent(first, second)
+
+
+def counting_equivalent_on(
+    first: PPFormula, second: PPFormula, structures: Iterable[Structure]
+) -> bool:
+    """Empirically compare answer counts on a collection of structures.
+
+    This does *not* decide counting equivalence (no finite collection
+    can); it is the semantic test used in the test-suite to cross-check
+    the syntactic decision procedure.
+    """
+    from repro.algorithms.brute_force import count_pp_answers_brute_force
+
+    return all(
+        count_pp_answers_brute_force(first, structure)
+        == count_pp_answers_brute_force(second, structure)
+        for structure in structures
+    )
+
+
+def group_by_counting_equivalence(
+    formulas: Sequence[PPFormula],
+) -> list[list[PPFormula]]:
+    """Partition formulas into counting-equivalence classes.
+
+    The result is a list of groups; within each group all formulas are
+    pairwise counting equivalent, and formulas in different groups are
+    not.  Group order follows first appearance.
+    """
+    groups: list[list[PPFormula]] = []
+    for formula in formulas:
+        for group in groups:
+            if counting_equivalent(formula, group[0]):
+                group.append(formula)
+                break
+        else:
+            groups.append([formula])
+    return groups
+
+
+def counting_equivalence_representative(
+    formulas: Sequence[PPFormula],
+) -> dict[PPFormula, PPFormula]:
+    """Map every formula to the representative of its equivalence class.
+
+    The representative is the first formula of the class in input order.
+    """
+    representative: dict[PPFormula, PPFormula] = {}
+    for group in group_by_counting_equivalence(formulas):
+        head = group[0]
+        for formula in group:
+            representative[formula] = head
+    return representative

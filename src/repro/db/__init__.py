@@ -1,0 +1,16 @@
+"""Database-flavored layer: relations, databases, CQs and UCQs."""
+
+from repro.db.relations import Relation
+from repro.db.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.db.database import Database
+from repro.db.sql_like import parse_program, parse_rule, parse_ucq
+
+__all__ = [
+    "Relation",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "Database",
+    "parse_program",
+    "parse_rule",
+    "parse_ucq",
+]

@@ -1,0 +1,152 @@
+"""Named relations: the tables of the database facade.
+
+:class:`Relation` is a thin, immutable value object pairing a relation
+name with a set of rows (tuples of hashable values) and optional column
+names.  It exists so that application code can talk about "tables" and
+"rows" while the algorithmic layers keep working on plain
+:class:`~repro.structures.structure.Structure` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.exceptions import DatabaseError
+from repro.logic.signatures import RelationSymbol
+
+Row = tuple[Hashable, ...]
+
+
+class Relation:
+    """A named finite relation (a table).
+
+    Parameters
+    ----------
+    name:
+        The relation name, e.g. ``"Follows"``.
+    rows:
+        The rows; all rows must have the same arity.
+    columns:
+        Optional column names (must match the arity).
+    """
+
+    __slots__ = ("_name", "_rows", "_columns", "_arity")
+
+    def __init__(
+        self,
+        name: str,
+        rows: Iterable[Sequence[Hashable]] = (),
+        columns: Sequence[str] | None = None,
+        arity: int | None = None,
+    ):
+        if not name:
+            raise DatabaseError("relation name must be non-empty")
+        self._name = name
+        materialized = {tuple(row) for row in rows}
+        arities = {len(row) for row in materialized}
+        if len(arities) > 1:
+            raise DatabaseError(
+                f"relation {name!r} has rows of different arities: {sorted(arities)}"
+            )
+        if arities:
+            inferred = arities.pop()
+        elif arity is not None:
+            inferred = arity
+        elif columns is not None:
+            inferred = len(columns)
+        else:
+            raise DatabaseError(
+                f"cannot infer the arity of empty relation {name!r}; pass arity= or columns="
+            )
+        if arity is not None and arity != inferred:
+            raise DatabaseError(
+                f"declared arity {arity} does not match rows of arity {inferred}"
+            )
+        if inferred < 1:
+            raise DatabaseError("relations must have arity at least 1")
+        if columns is not None and len(columns) != inferred:
+            raise DatabaseError(
+                f"{len(columns)} column names given for arity-{inferred} relation {name!r}"
+            )
+        self._rows = frozenset(materialized)
+        self._columns = tuple(columns) if columns is not None else None
+        self._arity = inferred
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The relation's name."""
+        return self._name
+
+    @property
+    def arity(self) -> int:
+        """The number of columns."""
+        return self._arity
+
+    @property
+    def columns(self) -> tuple[str, ...] | None:
+        """The column names, if declared."""
+        return self._columns
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The rows of the relation."""
+        return self._rows
+
+    def symbol(self) -> RelationSymbol:
+        """The corresponding relation symbol."""
+        return RelationSymbol(self._name, self._arity)
+
+    def values(self) -> frozenset[Hashable]:
+        """All values occurring in any row."""
+        out: set[Hashable] = set()
+        for row in self._rows:
+            out.update(row)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    def with_rows(self, rows: Iterable[Sequence[Hashable]]) -> "Relation":
+        """A new relation with additional rows."""
+        return Relation(
+            self._name,
+            list(self._rows) + [tuple(r) for r in rows],
+            columns=self._columns,
+            arity=self._arity,
+        )
+
+    def filter(self, predicate) -> "Relation":
+        """A new relation keeping only the rows satisfying ``predicate``."""
+        return Relation(
+            self._name,
+            [row for row in self._rows if predicate(row)],
+            columns=self._columns,
+            arity=self._arity,
+        )
+
+    def project(self, indices: Sequence[int]) -> frozenset[Row]:
+        """The projection of the rows onto the given column indices."""
+        for index in indices:
+            if not 0 <= index < self._arity:
+                raise DatabaseError(f"column index {index} out of range for arity {self._arity}")
+        return frozenset(tuple(row[i] for i in indices) for row in self._rows)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows, key=repr))
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._name == other._name and self._rows == other._rows and self._arity == other._arity
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._arity, self._rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self._name!r}, arity={self._arity}, rows={len(self._rows)})"

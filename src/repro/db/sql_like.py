@@ -1,0 +1,129 @@
+"""A datalog-style surface syntax for conjunctive queries and UCQs.
+
+Rules look like::
+
+    Path2(x, y) :- E(x, z), E(z, y).
+    Path2(x, y) :- E(x, y).
+
+Several rules with the same head predicate form a union of conjunctive
+queries.  Variables start with a lower-case letter; constants are not
+supported (the paper's fragment is constant-free), and neither is
+negation or comparison -- this is exactly the select-project-join-union
+fragment the paper studies.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.db.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.exceptions import ParseError
+from repro.logic.terms import Atom, Variable
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<head_name>[A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(?P<head_args>[^)]*)\)\s*"
+    r"(?::-\s*(?P<body>.*?))?\s*\.?\s*$"
+)
+_ATOM_RE = re.compile(
+    r"\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(?P<args>[^)]*)\)\s*"
+)
+
+
+def _parse_variables(text: str, context: str) -> list[Variable]:
+    names = [piece.strip() for piece in text.split(",") if piece.strip()]
+    variables = []
+    for name in names:
+        if not re.fullmatch(r"[a-z_][A-Za-z0-9_']*", name):
+            raise ParseError(
+                f"{context}: {name!r} is not a valid variable name "
+                "(variables start with a lower-case letter; constants are not supported)"
+            )
+        variables.append(Variable(name))
+    return variables
+
+
+def _parse_body(text: str) -> list[Atom]:
+    atoms: list[Atom] = []
+    position = 0
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"cannot parse body atom at: {text[position:]!r}", position)
+        name = match.group("name")
+        arguments = _parse_variables(match.group("args"), f"atom {name}")
+        if not arguments:
+            raise ParseError(f"atom {name!r} has no arguments")
+        atoms.append(Atom(name, arguments))
+        position = match.end()
+        if position < len(text):
+            if text[position] == ",":
+                position += 1
+            else:
+                raise ParseError(f"expected ',' between atoms, found {text[position]!r}", position)
+    return atoms
+
+
+def parse_rule(text: str) -> ConjunctiveQuery:
+    """Parse a single datalog rule into a :class:`ConjunctiveQuery`.
+
+    A rule without a body (``Q(x, y).``) denotes the query whose answers
+    are all pairs over the universe (head variables occur in no atom).
+    """
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise ParseError(f"cannot parse rule: {text!r}")
+    head_name = match.group("head_name")
+    head = _parse_variables(match.group("head_args"), f"head of {head_name}")
+    body_text = match.group("body") or ""
+    body = _parse_body(body_text) if body_text.strip() else []
+    return ConjunctiveQuery(head_name, head, body)
+
+
+def parse_program(text: str) -> dict[str, UnionOfConjunctiveQueries]:
+    """Parse a multi-rule program; rules are grouped by head predicate.
+
+    Returns a mapping from head predicate name to the UCQ formed by its
+    rules.  Rules are separated by newlines and/or terminating periods.
+    """
+    rules: list[ConjunctiveQuery] = []
+    for line in _split_rules(text):
+        rules.append(parse_rule(line))
+    grouped: dict[str, list[ConjunctiveQuery]] = {}
+    for rule in rules:
+        grouped.setdefault(rule.name, []).append(rule)
+    return {
+        name: UnionOfConjunctiveQueries(group, name=name) for name, group in grouped.items()
+    }
+
+
+def parse_ucq(text: str, name: str | None = None) -> UnionOfConjunctiveQueries:
+    """Parse a program that defines a single UCQ.
+
+    If the program defines several head predicates, ``name`` selects the
+    one to return; otherwise there must be exactly one.
+    """
+    program = parse_program(text)
+    if name is not None:
+        if name not in program:
+            raise ParseError(f"the program defines no predicate named {name!r}")
+        return program[name]
+    if len(program) != 1:
+        raise ParseError(
+            f"the program defines {len(program)} predicates "
+            f"({', '.join(sorted(program))}); pass name= to choose one"
+        )
+    return next(iter(program.values()))
+
+
+def _split_rules(text: str) -> list[str]:
+    lines: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("%", 1)[0].strip()
+        if not line:
+            continue
+        # A line may contain several period-terminated rules.
+        for piece in line.split("."):
+            piece = piece.strip()
+            if piece:
+                lines.append(piece)
+    return lines

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single exception type at API boundaries.  More
+specific subclasses communicate which subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SignatureError(ReproError):
+    """A relation symbol or signature was used inconsistently.
+
+    Raised, for example, when a tuple of the wrong arity is added to a
+    relation, or when two formulas over different vocabularies are
+    combined in an operation that requires a common vocabulary.
+    """
+
+
+class StructureError(ReproError):
+    """A relational structure was constructed or used incorrectly."""
+
+
+class FormulaError(ReproError):
+    """A formula is malformed or used outside its supported fragment."""
+
+
+class ParseError(FormulaError):
+    """The query parser could not parse the input text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class LiberalVariableError(FormulaError):
+    """The liberal-variable set of a formula is inconsistent.
+
+    The liberal variables of a formula must always be a superset of its
+    free variables and must be disjoint from its quantified variables.
+    """
+
+
+class NotPrenexError(FormulaError):
+    """An operation required a prenex primitive positive formula."""
+
+
+class ArityBoundError(FormulaError):
+    """A bounded-arity requirement was violated."""
+
+
+class DecompositionError(ReproError):
+    """A tree decomposition is invalid or could not be constructed."""
+
+
+class ClassificationError(ReproError):
+    """The trichotomy classifier received an input it cannot classify."""
+
+
+class OracleError(ReproError):
+    """An oracle reduction failed, e.g. due to an inconsistent oracle."""
+
+
+class DistinguishingStructureError(ReproError):
+    """No distinguishing structure could be found within the search budget.
+
+    The theory guarantees that a distinguishing structure exists for
+    pairwise non-(semi-)counting-equivalent formulas; this error signals
+    that the bounded search used by the implementation was exhausted
+    before finding one, not that none exists.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class DatabaseError(ReproError):
+    """The relational-database facade was used incorrectly."""

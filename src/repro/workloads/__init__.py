@@ -1,0 +1,41 @@
+"""Workload generators: query families, random queries and domain scenarios."""
+
+from repro.workloads.generators import (
+    cycle_query,
+    example_4_1_query,
+    example_4_2_query,
+    example_5_21_query,
+    grid_query,
+    hidden_clique_query,
+    path_query,
+    random_conjunctive_query,
+    random_ucq,
+    star_query,
+    union_of_paths_query,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    all_scenarios,
+    movie_database,
+    social_network,
+    triple_store,
+)
+
+__all__ = [
+    "cycle_query",
+    "example_4_1_query",
+    "example_4_2_query",
+    "example_5_21_query",
+    "grid_query",
+    "hidden_clique_query",
+    "path_query",
+    "random_conjunctive_query",
+    "random_ucq",
+    "star_query",
+    "union_of_paths_query",
+    "Scenario",
+    "all_scenarios",
+    "movie_database",
+    "social_network",
+    "triple_store",
+]

@@ -1,0 +1,180 @@
+"""Domain scenarios: realistic-looking synthetic databases and query mixes.
+
+The paper motivates answer counting with decision-support workloads over
+large data volumes; these scenarios provide small but structurally
+realistic stand-ins used by the examples and benchmarks:
+
+* a **social network** (people, follows-edges, community memberships),
+* an **RDF-style triple store** flattened into binary relations
+  (publications, authorship, citations),
+* a **movie database** (movies, actors, casting, genres).
+
+Each scenario returns a :class:`~repro.db.database.Database` plus a
+dictionary of named queries (a mix of conjunctive queries and UCQs) so
+that callers can iterate over realistic query shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.query import UnionOfConjunctiveQueries
+from repro.db.sql_like import parse_ucq
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A generated database together with a dictionary of named queries."""
+
+    name: str
+    database: Database
+    queries: dict[str, UnionOfConjunctiveQueries]
+
+    def structure(self):
+        """The database as a relational structure."""
+        return self.database.to_structure()
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def social_network(
+    people: int = 30,
+    follow_probability: float = 0.08,
+    communities: int = 4,
+    seed: int | random.Random | None = 0,
+) -> Scenario:
+    """A follows-graph with community memberships.
+
+    Relations: ``Follows(person, person)``, ``Member(person, community)``.
+    """
+    rng = _rng(seed)
+    db = Database()
+    names = [f"p{i}" for i in range(people)]
+    groups = [f"c{i}" for i in range(communities)]
+    for source in names:
+        for target in names:
+            if source != target and rng.random() < follow_probability:
+                db.add_row("Follows", source, target)
+    for person in names:
+        db.add_row("Member", person, rng.choice(groups))
+        if rng.random() < 0.3:
+            db.add_row("Member", person, rng.choice(groups))
+    queries = {
+        "followers_of_followers": parse_ucq(
+            "FoF(x, y) :- Follows(x, z), Follows(z, y)."
+        ),
+        "mutual_follow": parse_ucq("Mutual(x, y) :- Follows(x, y), Follows(y, x)."),
+        "reachable_in_two_or_one": parse_ucq(
+            """
+            Reach(x, y) :- Follows(x, y).
+            Reach(x, y) :- Follows(x, z), Follows(z, y).
+            """
+        ),
+        "same_community_follow": parse_ucq(
+            "SameCom(x, y) :- Follows(x, y), Member(x, c), Member(y, c)."
+        ),
+        "influencer_pairs": parse_ucq(
+            """
+            Inf(x, y) :- Follows(z, x), Follows(z, y), Follows(x, y).
+            Inf(x, y) :- Follows(z, x), Follows(z, y), Follows(y, x).
+            """
+        ),
+    }
+    return Scenario("social_network", db, queries)
+
+
+def triple_store(
+    papers: int = 25,
+    authors: int = 15,
+    citation_probability: float = 0.08,
+    seed: int | random.Random | None = 1,
+) -> Scenario:
+    """A bibliographic graph: authorship and citations.
+
+    Relations: ``Wrote(author, paper)``, ``Cites(paper, paper)``,
+    ``InVenue(paper, venue)``.
+    """
+    rng = _rng(seed)
+    db = Database()
+    paper_ids = [f"paper{i}" for i in range(papers)]
+    author_ids = [f"author{i}" for i in range(authors)]
+    venues = ["pods", "icdt", "sigmod", "vldb"]
+    for paper in paper_ids:
+        for author in rng.sample(author_ids, rng.randint(1, 3)):
+            db.add_row("Wrote", author, paper)
+        db.add_row("InVenue", paper, rng.choice(venues))
+    for citing in paper_ids:
+        for cited in paper_ids:
+            if citing != cited and rng.random() < citation_probability:
+                db.add_row("Cites", citing, cited)
+    queries = {
+        "coauthors": parse_ucq("Coauthor(a, b) :- Wrote(a, p), Wrote(b, p)."),
+        "self_citation_authors": parse_ucq(
+            "SelfCite(a) :- Wrote(a, p), Wrote(a, q), Cites(p, q)."
+        ),
+        "cited_or_citing": parse_ucq(
+            """
+            Related(p, q) :- Cites(p, q).
+            Related(p, q) :- Cites(q, p).
+            """
+        ),
+        "venue_citation_pairs": parse_ucq(
+            "VenuePair(p, q) :- Cites(p, q), InVenue(p, v), InVenue(q, v)."
+        ),
+    }
+    return Scenario("triple_store", db, queries)
+
+
+def movie_database(
+    movies: int = 20,
+    actors: int = 25,
+    casting_probability: float = 0.15,
+    seed: int | random.Random | None = 2,
+) -> Scenario:
+    """Movies, actors and genres.
+
+    Relations: ``ActsIn(actor, movie)``, ``HasGenre(movie, genre)``,
+    ``Directed(director, movie)``.
+    """
+    rng = _rng(seed)
+    db = Database()
+    movie_ids = [f"m{i}" for i in range(movies)]
+    actor_ids = [f"a{i}" for i in range(actors)]
+    directors = [f"d{i}" for i in range(max(3, movies // 4))]
+    genres = ["drama", "comedy", "thriller", "scifi"]
+    for movie in movie_ids:
+        db.add_row("HasGenre", movie, rng.choice(genres))
+        db.add_row("Directed", rng.choice(directors), movie)
+        for actor in actor_ids:
+            if rng.random() < casting_probability:
+                db.add_row("ActsIn", actor, movie)
+    queries = {
+        "costars": parse_ucq("Costar(a, b) :- ActsIn(a, m), ActsIn(b, m)."),
+        "actor_director_pairs": parse_ucq(
+            "Worked(a, d) :- ActsIn(a, m), Directed(d, m)."
+        ),
+        "same_genre_costars": parse_ucq(
+            "GenrePair(a, b) :- ActsIn(a, m), ActsIn(b, n), HasGenre(m, g), HasGenre(n, g)."
+        ),
+        "versatile_actors": parse_ucq(
+            """
+            Versatile(a) :- ActsIn(a, m), HasGenre(m, g), ActsIn(a, n), HasGenre(n, h).
+            """
+        ),
+    }
+    return Scenario("movie_database", db, queries)
+
+
+def all_scenarios(seed: int = 0) -> list[Scenario]:
+    """All built-in scenarios, with seeds offset from ``seed``."""
+    return [
+        social_network(seed=seed),
+        triple_store(seed=seed + 1),
+        movie_database(seed=seed + 2),
+    ]
