@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""The engine benchmark: cold vs. warm counting over realistic workloads.
+
+Runs the scenario query mixes (social network, triple store, movies) and
+the generator query families (paths, stars, grids, random UCQs) through
+two paths:
+
+* **cold** -- a fresh compile for every call, i.e. what every
+  ``count_answers`` call cost before :mod:`repro.engine` existed;
+* **warm** -- one compile, then repeated execution of the cached plan
+  (the engine's batch path).
+
+Results are written to ``BENCH_engine.json`` (see ``--output``), the
+repo's first recorded perf baseline.  The headline number is the
+repeated-query speedup: warm-path batch counting must beat cold per-call
+counting by a wide margin for the plan cache to be worth serving from.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import Engine, __version__
+from repro.engine.executor import execute
+from repro.engine.plan import compile_plan
+from repro.structures.random_gen import random_graph
+from repro.workloads.generators import (
+    example_4_2_query,
+    example_5_21_query,
+    grid_query,
+    path_query,
+    random_ucq,
+    star_query,
+    union_of_paths_query,
+)
+from repro.workloads.scenarios import all_scenarios
+
+
+def _time(callable_, repeats: int = 1) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        before = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - before)
+    return best, result
+
+
+def bench_scenarios(quick: bool) -> list[dict]:
+    """Every scenario query, cold compile+execute vs. warm execute."""
+    out: list[dict] = []
+    for scenario in all_scenarios():
+        structure = scenario.structure()
+        engine = Engine()
+        for name, query in scenario.queries.items():
+            ep = query.to_ep()
+            cold_seconds, count = _time(
+                lambda: execute(compile_plan(ep), structure)
+            )
+            engine.count(ep, structure)  # warm the caches
+            warm_seconds, warm_count = _time(
+                lambda: engine.count(ep, structure), repeats=1 if quick else 3
+            )
+            assert count == warm_count, (scenario.name, name)
+            out.append(
+                {
+                    "scenario": scenario.name,
+                    "query": name,
+                    "count": count,
+                    "cold_seconds": cold_seconds,
+                    "warm_seconds": warm_seconds,
+                    "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+                }
+            )
+    return out
+
+
+def bench_families(quick: bool) -> list[dict]:
+    """Generator families over random graphs: compile cost vs. execute cost."""
+    sizes = [10] if quick else [10, 20]
+    families = {
+        "path4_pairs": path_query(4, quantify_interior=True),
+        "star4_centers": star_query(4, quantify_leaves=True),
+        "grid2x3": grid_query(2, 3),
+        "union_paths_123": union_of_paths_query([1, 2, 3]),
+        "example_4_2": example_4_2_query(),
+        "example_5_21": example_5_21_query(),
+        "random_ucq": random_ucq(3, 4, 3, liberal_count=2, seed=7),
+    }
+    out: list[dict] = []
+    for name, query in families.items():
+        for size in sizes:
+            structure = random_graph(size, 0.25, seed=size)
+            compile_seconds, plan = _time(lambda: compile_plan(query))
+            execute_seconds, count = _time(
+                lambda: execute(plan, structure), repeats=1 if quick else 3
+            )
+            out.append(
+                {
+                    "family": name,
+                    "structure_size": size,
+                    "count": count,
+                    "compile_seconds": compile_seconds,
+                    "execute_seconds": execute_seconds,
+                    "compile_share": compile_seconds
+                    / (compile_seconds + execute_seconds),
+                }
+            )
+    return out
+
+
+def bench_repeated_query(quick: bool) -> dict:
+    """The headline benchmark: one query served against many structures.
+
+    Cold path: compile + execute per call (the pre-engine behavior of
+    ``count_answers``).  Warm path: the engine's ``count_many`` with the
+    plan compiled once.  This is the serving pattern the ROADMAP's
+    traffic scenario cares about.
+    """
+    query = example_5_21_query()
+    structure_count = 8 if quick else 24
+    structures = [
+        random_graph(8, 0.3, seed=seed) for seed in range(structure_count)
+    ]
+
+    def cold() -> list[int]:
+        # A fresh compilation per call, exactly like the seed pipeline.
+        return [execute(compile_plan(query), s) for s in structures]
+
+    engine = Engine()
+    engine.compile(query)  # warm the plan cache
+
+    def warm() -> list[int]:
+        return engine.count_many([query], structures, parallel=False)[0]
+
+    cold_seconds, cold_counts = _time(cold)
+    warm_seconds, warm_counts = _time(warm, repeats=1 if quick else 3)
+    assert cold_counts == warm_counts
+    return {
+        "query": "example_5_21",
+        "structures": structure_count,
+        "structure_size": 8,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+        "counts_checksum": sum(cold_counts),
+        "engine_stats": engine.stats().as_dict(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes / single repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    output = Path(args.output)
+    if not output.parent.is_dir():
+        parser.error(f"output directory {output.parent} does not exist")
+
+    started = time.perf_counter()
+    report = {
+        "benchmark": "engine",
+        "version": __version__,
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "scenarios": bench_scenarios(args.quick),
+        "families": bench_families(args.quick),
+        "repeated_query": bench_repeated_query(args.quick),
+    }
+    repeated = report["repeated_query"]
+    report["summary"] = {
+        "total_seconds": time.perf_counter() - started,
+        "repeated_query_speedup": repeated["speedup"],
+        "scenario_median_speedup": sorted(
+            row["speedup"] for row in report["scenarios"]
+        )[len(report["scenarios"]) // 2],
+    }
+
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(
+        f"repeated-query: cold {repeated['cold_seconds']:.4f}s, "
+        f"warm {repeated['warm_seconds']:.4f}s, "
+        f"speedup {repeated['speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

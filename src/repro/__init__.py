@@ -57,8 +57,16 @@ from repro.core import (
     star_decomposition,
 )
 from repro.db import ConjunctiveQuery, Database, Relation, UnionOfConjunctiveQueries
+from repro.engine import (
+    CountingPlan,
+    Engine,
+    EngineStats,
+    compile_plan,
+    count_many,
+    default_engine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -94,5 +102,11 @@ __all__ = [
     "Database",
     "Relation",
     "UnionOfConjunctiveQueries",
+    "CountingPlan",
+    "Engine",
+    "EngineStats",
+    "compile_plan",
+    "count_many",
+    "default_engine",
     "__version__",
 ]

@@ -44,6 +44,7 @@ from repro.algorithms.treewidth import treewidth
 from repro.logic.pp import PPFormula
 from repro.logic.terms import Variable
 from repro.structures.homomorphism import enumerate_extendable_assignments
+from repro.structures.indexes import PositionalIndex
 from repro.structures.structure import Element, Structure
 
 
@@ -151,6 +152,120 @@ def structural_report(formula: PPFormula) -> StructuralReport:
     )
 
 
+@dataclass(frozen=True)
+class PPCountingPlan:
+    """The structure-independent compilation of one pp-formula.
+
+    Everything the Theorem 2.11 algorithm derives from the *query* alone
+    is computed once and stored here, so the plan can be executed against
+    many data structures without repeating the query-side work:
+
+    ``formula``
+        The original formula (kept for bookkeeping and empty-structure
+        semantics).
+    ``base``
+        The core of the formula (or the formula itself when compiled
+        with ``use_core=False``); execution works on this.
+    ``liberal_order``
+        The liberal variables in the fixed order the CSP uses.
+    ``liberal_atom_scopes``
+        The ``(relation, scope)`` pairs of atoms entirely over liberal
+        variables; at execution time each becomes a table constraint
+        filled from the data structure's relation.
+    ``components``
+        The ∃-components of the base, each eliminated at execution time
+        by a homomorphism search into the data structure.
+    ``decomposition`` / ``width``
+        A tree decomposition of the contract graph and its width.  The
+        CSP built at execution time has the contract graph as its primal
+        graph (boundaries are cliques, liberal atoms are cliques), so
+        this decomposition drives the junction-tree count directly.
+    """
+
+    formula: PPFormula
+    base: PPFormula
+    liberal_order: tuple[Variable, ...]
+    liberal_atom_scopes: tuple[tuple[str, tuple[Variable, ...]], ...]
+    components: tuple[ExistsComponent, ...]
+    decomposition: TreeDecomposition
+    width: int
+
+
+def compile_pp_plan(formula: PPFormula, use_core: bool = True) -> PPCountingPlan:
+    """Compile a pp-formula into a reusable :class:`PPCountingPlan`.
+
+    This is the query-side half of :func:`count_pp_answers_fpt`: core
+    computation, ∃-component extraction, contract-graph construction and
+    tree decomposition.  None of it depends on the data structure.
+    """
+    base = _core_or_self(formula, use_core)
+    liberal = tuple(sorted(base.liberal, key=lambda v: v.name))
+    scopes: list[tuple[str, tuple[Variable, ...]]] = []
+    for name, tuples in base.structure.relations.items():
+        for t in tuples:
+            if all(v in base.liberal for v in t):
+                scopes.append((name, tuple(t)))
+    components = tuple(exists_components(base, use_core=False))
+    width, decomposition = treewidth(contract_graph(base, use_core=False))
+    return PPCountingPlan(
+        formula=formula,
+        base=base,
+        liberal_order=liberal,
+        liberal_atom_scopes=tuple(scopes),
+        components=components,
+        decomposition=decomposition,
+        width=width,
+    )
+
+
+def execute_pp_plan(
+    plan: PPCountingPlan,
+    structure: Structure,
+    target_index: PositionalIndex | None = None,
+) -> int:
+    """Count the answers of a compiled pp-plan on one data structure.
+
+    This is the data-side half of :func:`count_pp_answers_fpt`: fill the
+    liberal-atom table constraints from the structure, eliminate each
+    ∃-component by the boundary-relation homomorphism search, and run
+    the junction-tree count over the precomputed decomposition.
+    ``target_index`` shares one positional index of the structure across
+    the component searches.
+    """
+    if structure.is_empty():
+        return 0 if plan.formula.variables else 1
+    domain = sorted(structure.universe, key=repr)
+
+    constraints: list[Constraint] = []
+    for name, scope in plan.liberal_atom_scopes:
+        # Structure relations are already frozensets, and .relation()
+        # raises SignatureError for unknown names exactly like the
+        # pre-plan code path did.
+        constraints.append(Constraint(scope, structure.relation(name)))
+
+    # Each ∃-component is replaced by the relation over its boundary of
+    # assignments that extend into the component.
+    for component in plan.components:
+        boundary = sorted(component.boundary, key=lambda v: v.name)
+        if not boundary:
+            # A pp-sentence part: it contributes a factor 1 if satisfiable
+            # on the structure and 0 otherwise.
+            if not any(True for _ in enumerate_extendable_assignments(
+                component.structure, structure, [], target_index
+            )):
+                return 0
+            continue
+        allowed = set()
+        for assignment in enumerate_extendable_assignments(
+            component.structure, structure, boundary, target_index
+        ):
+            allowed.add(tuple(assignment[v] for v in boundary))
+        constraints.append(Constraint(tuple(boundary), frozenset(allowed)))
+
+    instance = CSPInstance.build(plan.liberal_order, domain, constraints)
+    return count_solutions(instance, decomposition=plan.decomposition, strategy="auto")
+
+
 def count_pp_answers_fpt(
     formula: PPFormula,
     structure: Structure,
@@ -164,40 +279,23 @@ def count_pp_answers_fpt(
     formula class) precisely when the class satisfies the tractability
     condition, because the exponents are bounded by the treewidth of
     cores and contract graphs.
+
+    One-shot convenience wrapper around :func:`compile_pp_plan` +
+    :func:`execute_pp_plan`; callers counting the same formula on many
+    structures should compile once and execute repeatedly (or use
+    :class:`repro.engine.Engine`, which also caches the plans).
     """
     if structure.is_empty():
         return 0 if formula.variables else 1
-    base = _core_or_self(formula, use_core)
-    liberal = sorted(base.liberal, key=lambda v: v.name)
-    domain = sorted(structure.universe, key=repr)
-
-    constraints: list[Constraint] = []
-
-    # Atoms entirely over liberal variables become direct table constraints.
-    for name, tuples in base.structure.relations.items():
-        table = frozenset(structure.relation(name))
-        for t in tuples:
-            if all(v in base.liberal for v in t):
-                constraints.append(Constraint(tuple(t), table))
-
-    # Each ∃-component is replaced by the relation over its boundary of
-    # assignments that extend into the component.
-    for component in exists_components(base, use_core=False):
-        boundary = sorted(component.boundary, key=lambda v: v.name)
-        if not boundary:
-            # A pp-sentence part: it contributes a factor 1 if satisfiable
-            # on the structure and 0 otherwise.
-            if not any(True for _ in enumerate_extendable_assignments(
-                component.structure, structure, []
-            )):
-                return 0
-            continue
-        allowed = set()
-        for assignment in enumerate_extendable_assignments(
-            component.structure, structure, boundary
-        ):
-            allowed.add(tuple(assignment[v] for v in boundary))
-        constraints.append(Constraint(tuple(boundary), frozenset(allowed)))
-
-    instance = CSPInstance.build(liberal, domain, constraints)
-    return count_solutions(instance, decomposition=decomposition, strategy="auto")
+    plan = compile_pp_plan(formula, use_core=use_core)
+    if decomposition is not None:
+        plan = PPCountingPlan(
+            formula=plan.formula,
+            base=plan.base,
+            liberal_order=plan.liberal_order,
+            liberal_atom_scopes=plan.liberal_atom_scopes,
+            components=plan.components,
+            decomposition=decomposition,
+            width=decomposition.width,
+        )
+    return execute_pp_plan(plan, structure)

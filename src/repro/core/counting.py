@@ -15,6 +15,14 @@ follows the paper's pipeline:
 
 The naive strategies are retained as independent baselines for testing
 and benchmarking.
+
+Since the introduction of :mod:`repro.engine`, :func:`count_answers`
+routes through the process-wide default :class:`~repro.engine.Engine`:
+the query-side pipeline work is compiled once into a cached plan, so
+repeated calls with the same query (under any strategy) only pay the
+per-structure execution cost.  Pass ``engine=None`` explicitly to force
+the direct, uncached code path (used by the engine's own equivalence
+tests).
 """
 
 from __future__ import annotations
@@ -51,10 +59,14 @@ def _as_ep(query: Query) -> EPFormula:
     raise ReproError(f"cannot interpret {query!r} as a query")
 
 
+_USE_DEFAULT_ENGINE = object()
+
+
 def count_answers(
     query: Query,
     structure: Structure,
     strategy: str = "auto",
+    engine=_USE_DEFAULT_ENGINE,
 ) -> int:
     """Count the answers ``|query(structure)|``.
 
@@ -78,9 +90,20 @@ def count_answers(
         * ``disjuncts`` -- materialize the union of the disjuncts'
           answer sets (baseline).
         * ``naive`` -- enumerate all ``|B|^|V|`` assignments (baseline).
+    engine:
+        The :class:`~repro.engine.Engine` to route through.  Defaults to
+        the process-wide default engine (plan caching on); pass ``None``
+        to bypass the engine and run the legacy uncached pipeline.
     """
     if strategy not in STRATEGIES:
         raise ReproError(f"unknown strategy {strategy!r}; choose one of {STRATEGIES}")
+
+    if engine is _USE_DEFAULT_ENGINE:
+        from repro.engine.api import default_engine
+
+        engine = default_engine()
+    if engine is not None:
+        return engine.count(query, structure, strategy=strategy)
 
     if strategy == "naive":
         return count_answers_naive(_as_ep(query), structure)

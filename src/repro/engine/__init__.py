@@ -1,0 +1,58 @@
+"""The compiled-plan counting engine.
+
+Separates the query-side work of the Chen--Mengel pipeline (parsing,
+cores, ∃-component elimination, tree decomposition, cancelled
+inclusion-exclusion) from per-structure execution, so plans are built
+once, cached, and run many times over many structures:
+
+* :mod:`repro.engine.plan` -- :func:`compile_plan` /
+  :class:`CountingPlan`: the structure-independent compilation;
+* :mod:`repro.engine.cache` -- LRU plan cache keyed by canonical query
+  form, plus per-structure positional-index cache;
+* :mod:`repro.engine.executor` -- :func:`execute` and the batch
+  :func:`count_many` with a multiprocessing path;
+* :mod:`repro.engine.api` -- the :class:`Engine` facade with hit-rate
+  and timing statistics, and the process-wide default engine behind
+  :func:`repro.core.counting.count_answers`.
+"""
+
+from repro.engine.api import (
+    Engine,
+    EngineStats,
+    default_engine,
+    reset_default_engine,
+    set_default_engine,
+)
+from repro.engine.cache import (
+    LRUCache,
+    PlanCache,
+    StructureIndexCache,
+    canonical_query_form,
+    plan_key,
+)
+from repro.engine.executor import count_many, execute
+from repro.engine.plan import (
+    PLAN_KINDS,
+    CountingPlan,
+    WeightedPPPlan,
+    compile_plan,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "default_engine",
+    "reset_default_engine",
+    "set_default_engine",
+    "LRUCache",
+    "PlanCache",
+    "StructureIndexCache",
+    "canonical_query_form",
+    "plan_key",
+    "count_many",
+    "execute",
+    "PLAN_KINDS",
+    "CountingPlan",
+    "WeightedPPPlan",
+    "compile_plan",
+]

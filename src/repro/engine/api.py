@@ -1,0 +1,256 @@
+"""The user-facing counting engine.
+
+:class:`Engine` ties the pieces together: it compiles queries into
+:class:`~repro.engine.plan.CountingPlan` objects through an LRU plan
+cache, indexes data structures through an LRU
+:class:`~repro.structures.indexes.PositionalIndex` cache, executes plans
+sequentially or over a process pool, and keeps hit-rate and timing
+statistics.
+
+A module-level default engine backs
+:func:`repro.core.counting.count_answers`, so every existing caller of
+the one-shot API transparently benefits from plan caching::
+
+    >>> from repro import Structure
+    >>> from repro.engine import Engine
+    >>> engine = Engine()
+    >>> graph = Structure.from_relations({"E": [(1, 2), (2, 3), (3, 1)]})
+    >>> engine.count("exists z. (E(x, z) & E(z, y))", graph)
+    3
+    >>> engine.count("exists z. (E(x, z) & E(z, y))", graph)  # cache hit
+    3
+    >>> engine.stats().plan_hits
+    1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
+from repro.engine.cache import (
+    DEFAULT_INDEX_CACHE_SIZE,
+    DEFAULT_PLAN_CACHE_SIZE,
+    PlanCache,
+    StructureIndexCache,
+)
+from repro.engine.executor import count_many as _count_many
+from repro.engine.executor import execute
+from repro.engine.plan import CountingPlan, Query
+from repro.structures.structure import Structure
+
+
+@dataclass
+class EngineStats:
+    """Counters and timings accumulated by an :class:`Engine`.
+
+    ``plan_hits`` / ``plan_misses`` count plan-cache lookups (a miss
+    compiles); ``index_hits`` / ``index_misses`` count structure-index
+    lookups.  ``compile_seconds`` is time spent compiling plans,
+    ``execute_seconds`` time spent executing them.
+    """
+
+    count_calls: int = 0
+    batch_calls: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    strategies: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def plan_hit_rate(self) -> float:
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
+    @property
+    def index_hit_rate(self) -> float:
+        total = self.index_hits + self.index_misses
+        return self.index_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly snapshot (used by the benchmark harness)."""
+        return {
+            "count_calls": self.count_calls,
+            "batch_calls": self.batch_calls,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": self.plan_hit_rate,
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "index_hit_rate": self.index_hit_rate,
+            "compile_seconds": self.compile_seconds,
+            "execute_seconds": self.execute_seconds,
+            "strategies": dict(self.strategies),
+        }
+
+
+class Engine:
+    """A compiled-plan counting engine with plan and structure caches.
+
+    Parameters
+    ----------
+    plan_cache_size:
+        Capacity of the LRU cache of compiled plans.
+    index_cache_size:
+        Capacity of the LRU cache of per-structure positional indexes.
+    max_disjuncts:
+        Safety limit forwarded to the inclusion-exclusion expansion.
+    """
+
+    def __init__(
+        self,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        index_cache_size: int = DEFAULT_INDEX_CACHE_SIZE,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    ):
+        self.plans = PlanCache(plan_cache_size)
+        self.indexes = StructureIndexCache(index_cache_size)
+        self.max_disjuncts = max_disjuncts
+        self._lock = threading.Lock()
+        self._compile_seconds = 0.0
+        self._execute_seconds = 0.0
+        self._count_calls = 0
+        self._batch_calls = 0
+        self._strategies: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def compile(self, query: Query, strategy: str = "auto") -> CountingPlan:
+        """The compiled plan for ``query`` (cached)."""
+        before = time.perf_counter()
+        plan = self.plans.get(query, strategy, self.max_disjuncts)
+        with self._lock:
+            self._compile_seconds += time.perf_counter() - before
+        return plan
+
+    def count(self, query: Query, structure: Structure, strategy: str = "auto") -> int:
+        """Count ``|query(structure)|`` through the plan cache."""
+        plan = self.compile(query, strategy)
+        # The baseline kinds never consult an index; don't build (or pin
+        # in the LRU) one for them.
+        index = (
+            self.indexes.get(structure)
+            if plan.kind in ("pp-fpt", "ep-plus")
+            else None
+        )
+        before = time.perf_counter()
+        result = execute(plan, structure, index)
+        with self._lock:
+            self._execute_seconds += time.perf_counter() - before
+            self._count_calls += 1
+            self._strategies[strategy] = self._strategies.get(strategy, 0) + 1
+        return result
+
+    def count_many(
+        self,
+        queries: Sequence[Query],
+        structures: Sequence[Structure],
+        strategy: str = "auto",
+        parallel: bool | None = None,
+        processes: int | None = None,
+    ) -> list[list[int]]:
+        """Count every query on every structure: ``result[i][j] = |q_i(B_j)|``.
+
+        Plans come from (and warm) the engine's plan cache; the parallel
+        path ships the compiled plans to a process pool, the sequential
+        path shares the engine's structure indexes.
+        """
+        plans = [self.compile(q, strategy) for q in queries]
+        before = time.perf_counter()
+        result = _count_many(
+            plans,
+            structures,
+            strategy=strategy,
+            parallel=parallel,
+            processes=processes,
+            index_cache=self.indexes,
+        )
+        with self._lock:
+            self._execute_seconds += time.perf_counter() - before
+            self._batch_calls += 1
+            self._count_calls += len(plans) * len(structures)
+            self._strategies[strategy] = (
+                self._strategies.get(strategy, 0) + len(plans) * len(structures)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """A snapshot of the engine's counters."""
+        with self._lock:
+            return EngineStats(
+                count_calls=self._count_calls,
+                batch_calls=self._batch_calls,
+                plan_hits=self.plans.hits,
+                plan_misses=self.plans.misses,
+                index_hits=self.indexes.hits,
+                index_misses=self.indexes.misses,
+                compile_seconds=self._compile_seconds,
+                execute_seconds=self._execute_seconds,
+                strategies=dict(self._strategies),
+            )
+
+    def clear_caches(self) -> None:
+        """Drop all cached plans and indexes (a "cold" engine again)."""
+        self.plans.clear()
+        self.indexes.clear()
+
+    def reset_stats(self) -> None:
+        """Zero all counters and timings."""
+        self.plans.reset_stats()
+        self.indexes.reset_stats()
+        with self._lock:
+            self._compile_seconds = 0.0
+            self._execute_seconds = 0.0
+            self._count_calls = 0
+            self._batch_calls = 0
+            self._strategies = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Engine(plans={len(self.plans)}, indexes={len(self.indexes)}, "
+            f"plan_hit_rate={self.plans.hit_rate:.2f})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The module-level default engine
+# ----------------------------------------------------------------------
+_default_engine: Engine | None = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> Engine:
+    """The process-wide default engine (created lazily).
+
+    :func:`repro.core.counting.count_answers` routes through this
+    engine, so repeated one-shot calls with the same query hit the plan
+    cache.
+    """
+    global _default_engine
+    if _default_engine is None:
+        with _default_lock:
+            if _default_engine is None:
+                _default_engine = Engine()
+    return _default_engine
+
+
+def set_default_engine(engine: Engine) -> Engine:
+    """Replace the process-wide default engine; returns the previous one."""
+    global _default_engine
+    with _default_lock:
+        previous = _default_engine
+        _default_engine = engine
+    return previous if previous is not None else engine
+
+
+def reset_default_engine() -> None:
+    """Drop the default engine (a fresh one is created on next use)."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = None

@@ -1,0 +1,243 @@
+"""Caches backing the counting engine.
+
+Two caches make plan reuse pay off:
+
+* :class:`PlanCache` -- an LRU of compiled :class:`~repro.engine.plan.
+  CountingPlan` objects keyed by a canonical form of the query plus the
+  requested strategy.  Query texts are additionally memoized through a
+  parse cache so serving the same SQL-ish string twice never re-parses.
+* :class:`StructureIndexCache` -- an LRU of
+  :class:`~repro.structures.indexes.PositionalIndex` objects, one per
+  data structure, shared between the executor's table constraints and
+  the homomorphism searches that eliminate ∃-components.
+
+Both are thin wrappers over :class:`LRUCache`, which tracks hit/miss
+statistics the :class:`~repro.engine.api.Engine` surfaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
+from repro.engine.plan import CountingPlan, Query, as_ep, compile_plan
+from repro.exceptions import ReproError
+from repro.logic.ep import EPFormula
+from repro.logic.pp import PPFormula
+from repro.structures.indexes import PositionalIndex
+from repro.structures.structure import Structure
+
+Key = TypeVar("Key", bound=Hashable)
+Value = TypeVar("Value")
+
+#: Default capacity of the plan cache.
+DEFAULT_PLAN_CACHE_SIZE = 256
+#: Default capacity of the structure-index cache.
+DEFAULT_INDEX_CACHE_SIZE = 32
+#: Default capacity of the query-text parse cache.
+DEFAULT_PARSE_CACHE_SIZE = 1024
+
+
+class LRUCache(Generic[Key, Value]):
+    """A small thread-safe LRU cache with hit/miss counters."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ReproError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._data: OrderedDict[Key, Value] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: Key, compute: Callable[[], Value]) -> Value:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        with self._lock:
+            if key in self._data:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+            self.misses += 1
+        # Compute outside the lock: compilation can be slow and reentrant.
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+        return value
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, or 0.0 before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+
+# ----------------------------------------------------------------------
+# Canonical query keys
+# ----------------------------------------------------------------------
+PlanKey = tuple  # (canonical query form, strategy, max_disjuncts)
+
+
+#: Reserved prefix for canonically renamed quantified variables; no
+#: parsed query can contain a NUL byte in a variable name.
+_CANONICAL_PREFIX = "\x00q"
+
+
+def _canonical_pp_form(formula: PPFormula) -> Hashable:
+    """The (structure, liberal) pair with quantified variables renamed
+    canonically, so alpha-equivalent pp-formulas (same bound-variable
+    order under name sorting) key identically."""
+    quantified = sorted(formula.quantified_variables, key=lambda v: v.name)
+    if quantified:
+        from repro.logic.terms import Variable
+
+        mapping = {
+            v: Variable(f"{_CANONICAL_PREFIX}{i}") for i, v in enumerate(quantified)
+        }
+        formula = formula.rename(mapping)
+    return (formula.structure, formula.liberal)
+
+
+def canonical_query_form(query: Query) -> Hashable:
+    """A hashable canonical form of a query, stable across call styles.
+
+    Strings are parsed; quantified variables are renamed canonically per
+    disjunct, so a pp-formula, the EP formula wrapping it, and the
+    parsed text of either all key identically -- ``count(pp, B)`` after
+    ``count(EPFormula.from_pp(pp), B)`` is a cache hit.  The form is
+    syntactic beyond that (atom ordering is already normalized by the
+    set-based structures) -- logically equivalent but syntactically
+    different queries compile separately, which is sound, merely
+    conservative.
+    """
+    if isinstance(query, PPFormula):
+        return ("pp", _canonical_pp_form(query))
+    ep = as_ep(query)
+    if ep.is_primitive_positive():
+        return ("pp", _canonical_pp_form(ep.to_pp()))
+    return ("ep", tuple(_canonical_pp_form(d) for d in ep.disjuncts()), ep.liberal)
+
+
+def plan_key(query: Query, strategy: str, max_disjuncts: int) -> PlanKey:
+    """The full plan-cache key."""
+    return (canonical_query_form(query), strategy, max_disjuncts)
+
+
+class PlanCache:
+    """An LRU cache of compiled plans keyed by canonical query form."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE):
+        self._cache: LRUCache[PlanKey, CountingPlan] = LRUCache(capacity)
+        self._parse_cache: LRUCache[str, EPFormula] = LRUCache(DEFAULT_PARSE_CACHE_SIZE)
+
+    def resolve(self, query: Query) -> EPFormula | PPFormula:
+        """Resolve a query to a formula, memoizing string parses."""
+        if isinstance(query, str):
+            return self._parse_cache.get_or_compute(query, lambda: as_ep(query))
+        return query
+
+    def get(
+        self, query: Query, strategy: str, max_disjuncts: int
+    ) -> CountingPlan:
+        """The compiled plan for the query, compiling at most once."""
+        resolved = self.resolve(query)
+        key = plan_key(resolved, strategy, max_disjuncts)
+        return self._cache.get_or_compute(
+            key, lambda: compile_plan(resolved, strategy, max_disjuncts)
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, query: object) -> bool:
+        """Membership by query (over all strategies is *not* checked).
+
+        ``query in cache`` answers "is the auto-strategy plan cached?",
+        the common case the tests and examples care about.
+        """
+        try:
+            key = plan_key(query, "auto", DEFAULT_MAX_DISJUNCTS)  # type: ignore[arg-type]
+        except ReproError:
+            return False
+        return key in self._cache
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._parse_cache.clear()
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()
+        self._parse_cache.reset_stats()
+
+
+class StructureIndexCache:
+    """An LRU cache of positional indexes, one per data structure.
+
+    Keyed by the structure itself (structures are immutable and
+    hashable); the first lookup pays one pass over the relations, every
+    later execution against the same structure shares the index.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_INDEX_CACHE_SIZE):
+        self._cache: LRUCache[Structure, PositionalIndex] = LRUCache(capacity)
+
+    def get(self, structure: Structure) -> PositionalIndex:
+        return self._cache.get_or_compute(
+            structure, lambda: PositionalIndex(structure)
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()

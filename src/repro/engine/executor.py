@@ -1,0 +1,180 @@
+"""Executing compiled counting plans against data structures.
+
+:func:`execute` runs one :class:`~repro.engine.plan.CountingPlan` on one
+structure; it is the data-dependent half of a ``count_answers`` call and
+touches none of the query-side machinery (parsing, cores, tree
+decompositions, inclusion-exclusion) the plan already contains.
+
+:func:`count_many` is the batch API: every query is compiled once and
+executed against every structure.  When ``parallel`` is enabled the
+(plan, structure) grid is fanned out over a :mod:`multiprocessing` pool
+(plans and structures are plain picklable values); any failure to set up
+the pool falls back to the sequential path, so batch callers never need
+to care whether the host allows subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.algorithms.brute_force import (
+    count_answers_naive,
+    count_ep_answers_by_disjuncts,
+)
+from repro.algorithms.fpt_counting import execute_pp_plan
+from repro.core.ep_to_pp import sentence_holds
+from repro.engine.cache import StructureIndexCache
+from repro.engine.plan import CountingPlan, Query, compile_plan
+from repro.exceptions import ReproError
+from repro.structures.homomorphism import has_homomorphism
+from repro.structures.indexes import PositionalIndex
+from repro.structures.structure import Structure
+
+
+def execute(
+    plan: CountingPlan,
+    structure: Structure,
+    target_index: PositionalIndex | None = None,
+) -> int:
+    """Count the answers of a compiled plan on one structure."""
+    if plan.kind == "naive":
+        return count_answers_naive(plan.query, structure)
+    if plan.kind == "disjuncts":
+        return count_ep_answers_by_disjuncts(plan.query, structure)
+    if plan.kind == "pp-fpt":
+        assert plan.pp is not None
+        return execute_pp_plan(plan.pp, structure, target_index)
+    if plan.kind == "ep-plus":
+        # The forward direction of Theorem 3.1, on precompiled parts:
+        # a true sentence disjunct short-circuits to |B| ** |V|; otherwise
+        # the cancelled combination of the phi-_af terms is evaluated.
+        for sentence in plan.sentence_disjuncts:
+            if _sentence_holds(sentence, structure, target_index):
+                return len(structure.universe) ** plan.liberal_count
+        total = 0
+        for term in plan.terms:
+            total += term.coefficient * execute_pp_plan(
+                term.plan, structure, target_index
+            )
+        return total
+    raise ReproError(f"unknown plan kind {plan.kind!r}")
+
+
+def _sentence_holds(sentence, structure: Structure, target_index) -> bool:
+    if target_index is None:
+        return sentence_holds(sentence, structure)
+    if structure.is_empty():
+        return not sentence.variables
+    return has_homomorphism(sentence.structure, structure, target_index=target_index)
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+def _index_for(plan: CountingPlan, structure: Structure) -> PositionalIndex | None:
+    """An index for the plan kinds that use one; baselines skip the build."""
+    if plan.kind in ("pp-fpt", "ep-plus"):
+        return PositionalIndex(structure)
+    return None
+
+
+def _count_cell(job: tuple[CountingPlan, Structure]) -> int:
+    plan, structure = job
+    return execute(plan, structure, _index_for(plan, structure))
+
+
+def default_process_count() -> int:
+    """The pool size used when ``processes`` is not given."""
+    return max(1, (os.cpu_count() or 1))
+
+
+def count_many(
+    queries: Sequence[Query | CountingPlan],
+    structures: Sequence[Structure],
+    strategy: str = "auto",
+    parallel: bool | None = None,
+    processes: int | None = None,
+    index_cache: StructureIndexCache | None = None,
+) -> list[list[int]]:
+    """Count every query on every structure: ``result[i][j] = |q_i(B_j)|``.
+
+    Queries are compiled once each (items that are already
+    :class:`CountingPlan` objects are used as-is).  ``parallel=None``
+    (the default) picks the parallel path when the machine has more than
+    one CPU and the grid is large enough to amortize pool start-up;
+    ``parallel=True`` forces it, ``parallel=False`` forces the
+    sequential path.  The sequential path shares one positional index
+    per structure across all queries.
+    """
+    plans = [
+        q if isinstance(q, CountingPlan) else compile_plan(q, strategy)
+        for q in queries
+    ]
+    jobs = [(plan, structure) for plan in plans for structure in structures]
+    if parallel is None:
+        parallel = default_process_count() > 1 and len(jobs) >= 8
+
+    if parallel and len(jobs) > 1:
+        import pickle
+
+        try:
+            return _count_many_parallel(plans, structures, jobs, processes)
+        except (
+            ImportError,
+            OSError,
+            ValueError,
+            pickle.PicklingError,
+            AttributeError,
+            TypeError,
+        ):
+            # No subprocess support (restricted hosts) or unpicklable
+            # plans/structures -- fall through to the sequential path.
+            # Genuine counting errors (SignatureError, ReproError, ...)
+            # propagate from either path.
+            pass
+    return _count_many_sequential(plans, structures, index_cache)
+
+
+def _count_many_sequential(
+    plans: Sequence[CountingPlan],
+    structures: Sequence[Structure],
+    index_cache: StructureIndexCache | None,
+) -> list[list[int]]:
+    if index_cache is None:
+        index_cache = StructureIndexCache(capacity=max(1, len(structures)))
+    any_indexed = any(plan.kind in ("pp-fpt", "ep-plus") for plan in plans)
+    out: list[list[int]] = [[0] * len(structures) for _ in plans]
+    # Iterate structure-major so each positional index is built once and
+    # stays hot while every plan runs against it.
+    for j, structure in enumerate(structures):
+        index = index_cache.get(structure) if any_indexed else None
+        for i, plan in enumerate(plans):
+            out[i][j] = execute(plan, structure, index)
+    return out
+
+
+def _count_many_parallel(
+    plans: Sequence[CountingPlan],
+    structures: Sequence[Structure],
+    jobs: list[tuple[CountingPlan, Structure]],
+    processes: int | None,
+) -> list[list[int]]:
+    import multiprocessing
+
+    workers = processes or default_process_count()
+    workers = max(1, min(workers, len(jobs)))
+    # fork shares the already-imported library with the workers; fall
+    # back to the default start method where fork is unavailable.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        context = multiprocessing.get_context()
+    chunksize = max(1, len(jobs) // (workers * 4))
+    with context.Pool(processes=workers) as pool:
+        flat = pool.map(_count_cell, jobs, chunksize=chunksize)
+    out: list[list[int]] = []
+    columns = len(structures)
+    for i in range(len(plans)):
+        out.append(list(flat[i * columns : (i + 1) * columns]))
+    return out

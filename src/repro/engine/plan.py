@@ -1,0 +1,200 @@
+"""Compiling queries into reusable, structure-independent counting plans.
+
+A :class:`CountingPlan` captures *everything* the paper's pipeline
+derives from the query alone: the resolved strategy, the computed cores,
+the eliminated ∃-components with their tree-decomposition schedules
+(:class:`~repro.algorithms.fpt_counting.PPCountingPlan` per pp-formula),
+the sentence disjuncts, and the cancelled inclusion-exclusion terms with
+their coefficients.  Compiling is the expensive half of a
+``count_answers`` call; executing a compiled plan against a structure
+(:mod:`repro.engine.executor`) touches only the data-dependent half.
+
+The strategy resolution mirrors :func:`repro.core.counting.count_answers`
+exactly, so a plan executed on any structure returns the same count the
+one-shot API would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.algorithms.fpt_counting import PPCountingPlan, compile_pp_plan
+from repro.core.ep_to_pp import PlusDecomposition, plus_decomposition
+from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
+from repro.exceptions import ReproError
+from repro.logic.ep import EPFormula
+from repro.logic.parser import parse_query
+from repro.logic.pp import PPFormula
+
+Query = Union[EPFormula, PPFormula, str]
+
+#: The kinds of compiled plans (the *resolved* strategy).
+PLAN_KINDS = ("pp-fpt", "ep-plus", "naive", "disjuncts")
+
+
+def as_ep(query: Query) -> EPFormula:
+    """Interpret strings / pp-formulas / EP formulas uniformly as EP."""
+    if isinstance(query, str):
+        return parse_query(query)
+    if isinstance(query, PPFormula):
+        return EPFormula.from_pp(query)
+    if isinstance(query, EPFormula):
+        return query
+    raise ReproError(f"cannot interpret {query!r} as a query")
+
+
+@dataclass(frozen=True)
+class WeightedPPPlan:
+    """One inclusion-exclusion term: ``coefficient * |plan.formula(B)|``."""
+
+    coefficient: int
+    plan: PPCountingPlan
+
+
+@dataclass(frozen=True)
+class CountingPlan:
+    """A fully compiled, structure-independent counting plan.
+
+    Attributes
+    ----------
+    query:
+        The query as an EP formula (exactly as the caller posed it).
+    strategy:
+        The *requested* strategy (``"auto"``, ``"fpt"``, ...).
+    kind:
+        The *resolved* execution kind, one of :data:`PLAN_KINDS`:
+
+        * ``"pp-fpt"`` -- a single compiled Theorem 2.11 plan;
+        * ``"ep-plus"`` -- sentence checks plus the cancelled
+          inclusion-exclusion combination of compiled pp-plans;
+        * ``"naive"`` / ``"disjuncts"`` -- the baselines (no query-side
+          work to cache beyond normal parsing).
+    pp:
+        The compiled pp-plan (``kind == "pp-fpt"``).
+    decomposition:
+        The Section 5.4 ``phi+`` decomposition (``kind == "ep-plus"``).
+    sentence_disjuncts:
+        The pp-sentence disjuncts checked before the combination
+        (``kind == "ep-plus"``).
+    terms:
+        The surviving (``phi-_af``) inclusion-exclusion terms, each with
+        its coefficient and compiled pp-plan (``kind == "ep-plus"``).
+    liberal_count:
+        ``|V|``: the exponent of the ``|B| ** |V|`` shortcut.
+    compile_seconds:
+        Wall-clock time spent compiling the plan.
+    """
+
+    query: EPFormula
+    strategy: str
+    kind: str
+    pp: PPCountingPlan | None = None
+    decomposition: PlusDecomposition | None = None
+    sentence_disjuncts: tuple[PPFormula, ...] = ()
+    terms: tuple[WeightedPPPlan, ...] = ()
+    liberal_count: int = 0
+    compile_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def max_width(self) -> int:
+        """The largest contract-graph width among the compiled pp-plans."""
+        widths = [t.plan.width for t in self.terms]
+        if self.pp is not None:
+            widths.append(self.pp.width)
+        return max(widths, default=-1)
+
+    def describe(self) -> str:
+        """A short human-readable summary of the plan."""
+        if self.kind == "pp-fpt":
+            detail = f"width={self.pp.width}" if self.pp else ""
+        elif self.kind == "ep-plus":
+            detail = (
+                f"{len(self.sentence_disjuncts)} sentences, "
+                f"{len(self.terms)} terms, max width={self.max_width}"
+            )
+        else:
+            detail = "baseline"
+        return f"CountingPlan(kind={self.kind}, {detail})"
+
+
+def compile_plan(
+    query: Query,
+    strategy: str = "auto",
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+) -> CountingPlan:
+    """Compile ``query`` into a :class:`CountingPlan`.
+
+    Raises the same errors :func:`repro.core.counting.count_answers`
+    would raise for the same inputs (unknown strategy, ``"fpt"`` on a
+    union, ...), so rerouting the one-shot API through plans is
+    transparent to callers.
+    """
+    from repro.core.counting import STRATEGIES
+
+    if strategy not in STRATEGIES:
+        raise ReproError(f"unknown strategy {strategy!r}; choose one of {STRATEGIES}")
+    started = time.perf_counter()
+    ep = as_ep(query)
+    liberal_count = len(ep.liberal)
+
+    if strategy == "naive":
+        return CountingPlan(
+            query=ep,
+            strategy=strategy,
+            kind="naive",
+            liberal_count=liberal_count,
+            compile_seconds=time.perf_counter() - started,
+        )
+    if strategy == "disjuncts":
+        return CountingPlan(
+            query=ep,
+            strategy=strategy,
+            kind="disjuncts",
+            liberal_count=liberal_count,
+            compile_seconds=time.perf_counter() - started,
+        )
+
+    if strategy == "fpt" and not ep.is_primitive_positive():
+        raise ReproError(
+            "strategy 'fpt' applies to primitive positive queries only; "
+            "use 'auto' or 'inclusion-exclusion' for unions"
+        )
+
+    if isinstance(query, PPFormula):
+        pp = query
+    elif ep.is_primitive_positive():
+        pp = ep.to_pp()
+    else:
+        pp = None
+
+    if pp is not None:
+        return CountingPlan(
+            query=ep,
+            strategy=strategy,
+            kind="pp-fpt",
+            pp=compile_pp_plan(pp),
+            liberal_count=liberal_count,
+            compile_seconds=time.perf_counter() - started,
+        )
+
+    # General EP query: the Section 5.4 construction, with every
+    # surviving term compiled down to a Theorem 2.11 plan.
+    decomposition = plus_decomposition(ep, max_disjuncts=max_disjuncts)
+    minus = set(decomposition.minus)
+    terms = tuple(
+        WeightedPPPlan(term.coefficient, compile_pp_plan(term.formula))
+        for term in decomposition.star.terms
+        if term.formula in minus
+    )
+    return CountingPlan(
+        query=ep,
+        strategy=strategy,
+        kind="ep-plus",
+        decomposition=decomposition,
+        sentence_disjuncts=decomposition.sentence_disjuncts,
+        terms=terms,
+        liberal_count=len(decomposition.query.liberal),
+        compile_seconds=time.perf_counter() - started,
+    )

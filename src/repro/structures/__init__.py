@@ -26,6 +26,7 @@ from repro.structures.homomorphism import (
     homomorphic_equivalent,
     is_homomorphism,
 )
+from repro.structures.indexes import PositionalIndex
 from repro.structures.cores import (
     augmented_structure,
     core,
@@ -71,6 +72,7 @@ __all__ = [
     "has_homomorphism",
     "homomorphic_equivalent",
     "is_homomorphism",
+    "PositionalIndex",
     "augmented_structure",
     "core",
     "core_of_pp_structure",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.exceptions import SignatureError, StructureError
+from repro.structures.indexes import PositionalIndex
 from repro.structures.structure import Element, Structure
 
 Assignment = dict[Element, Element]
@@ -53,15 +54,20 @@ class _HomomorphismSearch:
         source: Structure,
         target: Structure,
         fixed: Mapping[Element, Element] | None = None,
+        target_index: PositionalIndex | None = None,
     ):
         _check_compatible(source, target)
         self.source = source
         self.target = target
         self.elements = sorted(source.universe, key=repr)
         self.target_elements = sorted(target.universe, key=repr)
-        # Index the target relations by (relation, position, value) for
-        # quick compatibility checks.
-        self._target_tuples = {name: target.relation(name) for name in source.signature.names}
+        # The target relations indexed by (relation, position, value);
+        # callers that evaluate many searches against the same target
+        # (the engine executor) pass a shared prebuilt index.
+        if target_index is None:
+            target_index = PositionalIndex(target)
+        self._index = target_index
+        self._target_tuples = {name: target_index.tuples(name) for name in source.signature.names}
         # Constraints: for each source element, the tuples it participates in.
         self._constraints: dict[Element, list[tuple[str, tuple[Element, ...]]]] = {
             e: [] for e in self.elements
@@ -79,13 +85,26 @@ class _HomomorphismSearch:
 
     # ------------------------------------------------------------------
     def _consistent(self, assignment: Assignment, element: Element, value: Element) -> bool:
-        """Check all constraints of ``element`` that are fully assigned."""
+        """Check all constraints of ``element`` against the target index.
+
+        Fully assigned tuples are exact membership tests; partially
+        assigned tuples are forward-checked: the branch is cut as soon as
+        no target tuple is compatible with the assigned positions.
+        """
         assignment[element] = value
         try:
             for name, t in self._constraints[element]:
                 if all(e in assignment for e in t):
                     image = tuple(assignment[e] for e in t)
                     if image not in self._target_tuples[name]:
+                        return False
+                else:
+                    fixed = {
+                        position: assignment[e]
+                        for position, e in enumerate(t)
+                        if e in assignment
+                    }
+                    if not self._index.has_compatible_tuple(name, fixed):
                         return False
             return True
         finally:
@@ -169,14 +188,17 @@ def find_homomorphism(
     source: Structure,
     target: Structure,
     fixed: Mapping[Element, Element] | None = None,
+    target_index: PositionalIndex | None = None,
 ) -> Assignment | None:
     """Return a homomorphism from ``source`` to ``target`` or ``None``.
 
     ``fixed`` pins the images of selected source elements; this is how
     the library checks whether a partial assignment of liberal variables
-    extends to a full homomorphism.
+    extends to a full homomorphism.  ``target_index`` supplies a prebuilt
+    :class:`PositionalIndex` of the target, amortizing the indexing cost
+    over many searches against the same structure.
     """
-    search = _HomomorphismSearch(source, target, fixed)
+    search = _HomomorphismSearch(source, target, fixed, target_index)
     for solution in search.solutions():
         return solution
     return None
@@ -186,37 +208,41 @@ def has_homomorphism(
     source: Structure,
     target: Structure,
     fixed: Mapping[Element, Element] | None = None,
+    target_index: PositionalIndex | None = None,
 ) -> bool:
     """True if a homomorphism from ``source`` to ``target`` exists."""
-    return find_homomorphism(source, target, fixed) is not None
+    return find_homomorphism(source, target, fixed, target_index) is not None
 
 
 def enumerate_homomorphisms(
     source: Structure,
     target: Structure,
     fixed: Mapping[Element, Element] | None = None,
+    target_index: PositionalIndex | None = None,
 ) -> Iterator[Assignment]:
     """Iterate over all homomorphisms from ``source`` to ``target``."""
-    return _HomomorphismSearch(source, target, fixed).solutions()
+    return _HomomorphismSearch(source, target, fixed, target_index).solutions()
 
 
 def count_homomorphisms(
     source: Structure,
     target: Structure,
     fixed: Mapping[Element, Element] | None = None,
+    target_index: PositionalIndex | None = None,
 ) -> int:
     """Count the homomorphisms from ``source`` to ``target``.
 
     This is a brute-force count; for the treewidth-aware algorithm see
     :mod:`repro.algorithms.homomorphism_counting`.
     """
-    return sum(1 for _ in enumerate_homomorphisms(source, target, fixed))
+    return sum(1 for _ in enumerate_homomorphisms(source, target, fixed, target_index))
 
 
 def enumerate_extendable_assignments(
     source: Structure,
     target: Structure,
     variables: Iterable[Element],
+    target_index: PositionalIndex | None = None,
 ) -> Iterator[Assignment]:
     """Enumerate maps ``variables -> target`` extendable to homomorphisms.
 
@@ -231,7 +257,7 @@ def enumerate_extendable_assignments(
         raise StructureError(
             f"projection variables {sorted(map(repr, unknown))} are not in the source universe"
         )
-    search = _HomomorphismSearch(source, target)
+    search = _HomomorphismSearch(source, target, target_index=target_index)
     return search.solutions(restrict_to=restrict)
 
 
@@ -239,9 +265,13 @@ def count_extendable_assignments(
     source: Structure,
     target: Structure,
     variables: Iterable[Element],
+    target_index: PositionalIndex | None = None,
 ) -> int:
     """Count the maps ``variables -> target`` extendable to homomorphisms."""
-    return sum(1 for _ in enumerate_extendable_assignments(source, target, variables))
+    return sum(
+        1
+        for _ in enumerate_extendable_assignments(source, target, variables, target_index)
+    )
 
 
 def is_homomorphism(

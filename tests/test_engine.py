@@ -1,0 +1,117 @@
+"""Engine-vs-seed equivalence and engine API behavior.
+
+Warm-cache engine counts must be bit-identical to the baseline
+strategies; the batch and parallel paths must agree with the scalar
+path; and the rerouted ``count_answers`` must hit the default engine's
+plan cache.
+"""
+
+import pytest
+
+from repro.core.counting import count_answers
+from repro.engine import Engine, compile_plan, count_many, execute
+from repro.engine.api import default_engine, reset_default_engine, set_default_engine
+from repro.structures.random_gen import random_graph
+from repro.workloads.generators import (
+    example_5_21_query,
+    random_conjunctive_query,
+    random_ucq,
+)
+from repro.workloads.scenarios import movie_database, social_network, triple_store
+
+
+def scenario_cases():
+    for scenario in (
+        social_network(people=10, seed=0),
+        triple_store(papers=8, authors=6, seed=1),
+        movie_database(movies=6, actors=8, seed=2),
+    ):
+        structure = scenario.structure()
+        for name, query in scenario.queries.items():
+            yield pytest.param(query.to_ep(), structure, id=f"{scenario.name}:{name}")
+
+
+@pytest.mark.parametrize("query,structure", scenario_cases())
+def test_warm_engine_matches_naive_on_scenarios(query, structure):
+    engine = Engine()
+    cold = engine.count(query, structure)
+    warm = engine.count(query, structure)
+    naive = count_answers(query, structure, strategy="naive", engine=None)
+    assert cold == warm == naive
+    assert engine.stats().plan_hits >= 1
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_warm_engine_matches_naive_on_random_queries(seed):
+    engine = Engine()
+    structure = random_graph(5, 0.4, seed=seed)
+    for query in (
+        random_conjunctive_query(4, 3, liberal_count=2, seed=seed),
+        random_ucq(2, 4, 3, liberal_count=2, seed=seed),
+    ):
+        engine.count(query, structure)  # compile
+        warm = engine.count(query, structure)
+        assert warm == count_answers(query, structure, strategy="naive", engine=None)
+
+
+def test_count_many_matches_scalar_counts():
+    queries = [
+        "E(x, y)",
+        "exists z. (E(x, z) & E(z, y))",
+        random_ucq(2, 4, 3, liberal_count=2, seed=3),
+    ]
+    structures = [random_graph(6, 0.3, seed=s) for s in range(4)]
+    engine = Engine()
+    grid = engine.count_many(queries, structures, parallel=False)
+    for i, query in enumerate(queries):
+        for j, structure in enumerate(structures):
+            assert grid[i][j] == engine.count(query, structure)
+
+
+def test_count_many_parallel_matches_sequential():
+    queries = ["E(x, y)", "exists z. (E(x, z) & E(z, y))"]
+    structures = [random_graph(5, 0.4, seed=s) for s in range(3)]
+    sequential = count_many(queries, structures, parallel=False)
+    parallel = count_many(queries, structures, parallel=True)
+    assert sequential == parallel
+
+
+def test_compiled_plan_is_reusable_across_structures():
+    plan = compile_plan(example_5_21_query())
+    for seed in range(4):
+        structure = random_graph(6, 0.35, seed=seed)
+        assert execute(plan, structure) == count_answers(
+            example_5_21_query(), structure, strategy="naive", engine=None
+        )
+
+
+def test_count_answers_routes_through_default_engine():
+    fresh = Engine()
+    previous = set_default_engine(fresh)
+    try:
+        structure = random_graph(5, 0.4, seed=11)
+        first = count_answers("exists z. (E(x, z) & E(z, y))", structure)
+        second = count_answers("exists z. (E(x, z) & E(z, y))", structure)
+        assert first == second
+        assert fresh.stats().plan_hits >= 1
+        assert default_engine() is fresh
+    finally:
+        set_default_engine(previous)
+
+
+def test_reset_default_engine_creates_a_fresh_one():
+    first = default_engine()
+    reset_default_engine()
+    second = default_engine()
+    assert second is not first
+
+
+def test_engine_stats_track_time_and_calls():
+    engine = Engine()
+    structure = random_graph(5, 0.4, seed=4)
+    engine.count("E(x, y)", structure)
+    stats = engine.stats()
+    assert stats.count_calls == 1
+    assert stats.compile_seconds > 0
+    assert stats.execute_seconds > 0
+    assert stats.strategies == {"auto": 1}

@@ -1,0 +1,91 @@
+"""Plan-cache behavior: keys, hits, invalidation, eviction."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.cache import LRUCache, PlanCache, canonical_query_form
+from repro.exceptions import ReproError
+from repro.logic.ep import EPFormula
+from repro.logic.parser import parse_query
+from repro.structures.random_gen import random_graph
+from repro.workloads.generators import path_query, random_ucq
+
+
+def test_lru_cache_eviction_order():
+    cache = LRUCache(2)
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("b", lambda: 2)
+    cache.get_or_compute("a", lambda: 0)  # refresh a
+    cache.get_or_compute("c", lambda: 3)  # evicts b
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.hits == 1 and cache.misses == 3
+
+
+def test_lru_cache_rejects_zero_capacity():
+    with pytest.raises(ReproError):
+        LRUCache(0)
+
+
+def test_canonical_form_unifies_call_styles():
+    pp = path_query(2, quantify_interior=True)
+    as_text = "exists x1. (E(x0, x1) & E(x1, x2))"
+    assert canonical_query_form(pp) == canonical_query_form(EPFormula.from_pp(pp))
+    assert canonical_query_form(pp) == canonical_query_form(parse_query(as_text))
+
+
+def test_plan_cache_hits_across_call_styles():
+    cache = PlanCache(capacity=8)
+    pp = path_query(2, quantify_interior=True)
+    cache.get(pp, "auto", 16)
+    cache.get(EPFormula.from_pp(pp), "auto", 16)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_distinct_strategies_compile_distinct_plans():
+    cache = PlanCache(capacity=8)
+    plan_auto = cache.get("E(x, y)", "auto", 16)
+    plan_naive = cache.get("E(x, y)", "naive", 16)
+    assert plan_auto.kind == "pp-fpt"
+    assert plan_naive.kind == "naive"
+    assert cache.misses == 2
+
+
+def test_plan_cache_eviction_recompiles():
+    engine = Engine(plan_cache_size=2)
+    structure = random_graph(4, 0.5, seed=0)
+    queries = ["E(x, y)", "E(y, x)", "exists z. (E(x, z) & E(z, y))"]
+    for query in queries:
+        engine.count(query, structure)
+    # The first query was evicted by the third; counting it again misses.
+    engine.count(queries[0], structure)
+    assert engine.stats().plan_misses == 4
+    assert engine.stats().plan_hits == 0
+
+
+def test_clear_caches_invalidates_plans():
+    engine = Engine()
+    structure = random_graph(4, 0.5, seed=1)
+    engine.count("E(x, y)", structure)
+    engine.clear_caches()
+    engine.count("E(x, y)", structure)
+    stats = engine.stats()
+    assert stats.plan_misses == 2 and stats.plan_hits == 0
+    engine.reset_stats()
+    assert engine.stats().plan_misses == 0
+
+
+def test_cached_plans_return_identical_counts_after_eviction():
+    engine = Engine(plan_cache_size=1)
+    structure = random_graph(5, 0.4, seed=2)
+    query = random_ucq(2, 4, 3, liberal_count=2, seed=5)
+    first = engine.count(query, structure)
+    engine.count("E(x, y)", structure)  # evicts the UCQ plan
+    second = engine.count(query, structure)  # recompiled
+    assert first == second
+
+
+def test_parse_cache_memoizes_query_text():
+    cache = PlanCache(capacity=8)
+    first = cache.resolve("E(x, y)")
+    second = cache.resolve("E(x, y)")
+    assert first is second

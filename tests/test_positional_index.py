@@ -1,0 +1,79 @@
+"""The shared positional index and index-backed homomorphism search."""
+
+from repro.structures.homomorphism import (
+    count_extendable_assignments,
+    count_homomorphisms,
+    enumerate_homomorphisms,
+    has_homomorphism,
+    is_homomorphism,
+)
+from repro.logic.signatures import RelationSymbol, Signature
+from repro.structures.indexes import PositionalIndex
+from repro.structures.random_gen import random_graph, random_structure
+from repro.structures.structure import Structure
+from repro.workloads.generators import path_query
+
+
+def test_matching_returns_tuples_by_position():
+    structure = Structure.from_relations({"E": [(1, 2), (1, 3), (2, 3)]})
+    index = PositionalIndex(structure)
+    assert index.matching("E", 0, 1) == frozenset({(1, 2), (1, 3)})
+    assert index.matching("E", 1, 3) == frozenset({(1, 3), (2, 3)})
+    assert index.matching("E", 1, 1) == frozenset()
+    assert index.tuples("E") == structure.relation("E")
+    assert index.tuples("missing") == frozenset()
+
+
+def test_has_compatible_tuple_partial_rows():
+    structure = Structure.from_relations({"R": [(1, 2, 3), (1, 5, 3), (4, 2, 6)]})
+    index = PositionalIndex(structure)
+    assert index.has_compatible_tuple("R", {})
+    assert index.has_compatible_tuple("R", {0: 1})
+    assert index.has_compatible_tuple("R", {0: 1, 2: 3})
+    assert not index.has_compatible_tuple("R", {0: 4, 2: 3})
+    assert not index.has_compatible_tuple("R", {1: 9})
+    assert not index.has_compatible_tuple("missing", {})
+
+
+def test_homomorphism_counts_unchanged_by_shared_index():
+    for seed in range(5):
+        source = random_graph(4, 0.5, seed=seed)
+        target = random_graph(5, 0.5, seed=seed + 10)
+        index = PositionalIndex(target)
+        without = count_homomorphisms(source, target)
+        with_shared = count_homomorphisms(source, target, target_index=index)
+        assert without == with_shared
+        assert has_homomorphism(source, target) == has_homomorphism(
+            source, target, target_index=index
+        )
+
+
+def test_enumerated_homomorphisms_are_homomorphisms():
+    source = random_graph(3, 0.7, seed=3)
+    target = random_graph(4, 0.6, seed=4)
+    for mapping in enumerate_homomorphisms(source, target):
+        assert is_homomorphism(mapping, source, target)
+
+
+def test_extendable_assignments_shared_index():
+    query = path_query(3, quantify_interior=True)
+    for seed in range(4):
+        target = random_graph(6, 0.3, seed=seed)
+        index = PositionalIndex(target)
+        liberal = sorted(query.liberal, key=lambda v: v.name)
+        assert count_extendable_assignments(
+            query.structure, target, liberal
+        ) == count_extendable_assignments(
+            query.structure, target, liberal, target_index=index
+        )
+
+
+def test_higher_arity_structures():
+    signature = Signature([RelationSymbol("T", 3)])
+    for seed in range(3):
+        source = random_structure(signature, size=3, tuple_probability=0.15, seed=seed)
+        target = random_structure(signature, size=4, tuple_probability=0.2, seed=seed + 5)
+        index = PositionalIndex(target)
+        assert count_homomorphisms(source, target) == count_homomorphisms(
+            source, target, target_index=index
+        )

@@ -1,0 +1,81 @@
+"""Cross-strategy agreement on randomized workloads.
+
+Every counting strategy implements the same semantics; on any input they
+must agree.  The naive enumerator is the ground truth (it follows the
+definition directly), so agreement across seeds is the library's main
+correctness net.
+"""
+
+import pytest
+
+from repro.core.counting import count_answers, count_answers_all_strategies
+from repro.exceptions import ReproError
+from repro.structures.random_gen import random_graph
+from repro.structures.structure import Structure
+from repro.workloads.generators import (
+    example_4_2_query,
+    example_5_21_query,
+    hidden_clique_query,
+    path_query,
+    random_conjunctive_query,
+    random_ucq,
+    star_query,
+    union_of_paths_query,
+)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_conjunctive_queries_agree(seed):
+    query = random_conjunctive_query(4, 3, liberal_count=2, seed=seed)
+    structure = random_graph(5, 0.4, seed=seed + 100)
+    results = count_answers_all_strategies(query, structure)
+    assert len(set(results.values())) == 1, results
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_ucqs_agree(seed):
+    query = random_ucq(3, 4, 3, liberal_count=2, seed=seed)
+    structure = random_graph(5, 0.4, seed=seed + 200)
+    results = count_answers_all_strategies(query, structure)
+    assert len(set(results.values())) == 1, results
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        path_query(3, quantify_interior=True),
+        star_query(3, quantify_leaves=True),
+        union_of_paths_query([1, 2, 3]),
+        example_4_2_query(),
+        example_5_21_query(),
+        hidden_clique_query(3),
+    ],
+    ids=["path", "star", "union-paths", "ex-4.2", "ex-5.21", "hidden-clique"],
+)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_named_families_agree(query, seed):
+    structure = random_graph(6, 0.35, seed=seed)
+    results = count_answers_all_strategies(query, structure)
+    assert len(set(results.values())) == 1, results
+
+
+def test_empty_structure():
+    empty = Structure.from_relations({}, universe=[])
+    query = path_query(2, quantify_interior=True)
+    ep_query = random_ucq(2, 3, 2, seed=0)
+    for q in (query, ep_query):
+        results = count_answers_all_strategies(q, empty.with_signature(q.signature))
+        assert set(results.values()) == {0}, results
+
+
+def test_unknown_strategy_raises():
+    structure = random_graph(3, 0.5, seed=0)
+    with pytest.raises(ReproError):
+        count_answers("E(x, y)", structure, strategy="bogus")
+
+
+def test_fpt_strategy_rejects_unions():
+    structure = random_graph(3, 0.5, seed=0)
+    union = random_ucq(2, 3, 2, seed=1)
+    with pytest.raises(ReproError):
+        count_answers(union, structure, strategy="fpt")
