@@ -1,19 +1,26 @@
 #!/usr/bin/env python
 """The engine benchmark: cold vs. warm counting over realistic workloads.
 
-Runs the scenario query mixes (social network, triple store, movies) and
-the generator query families (paths, stars, grids, random UCQs) through
-two paths:
+Runs the scenario query mixes (social network, triple store, movies,
+tenant network) and the generator query families (paths, stars, grids,
+random UCQs) through two paths:
 
 * **cold** -- a fresh compile for every call, i.e. what every
   ``count_answers`` call cost before :mod:`repro.engine` existed;
 * **warm** -- one compile, then repeated execution of the cached plan
   (the engine's batch path).
 
-Results are written to ``BENCH_engine.json`` (see ``--output``), the
-repo's first recorded perf baseline.  The headline number is the
-repeated-query speedup: warm-path batch counting must beat cold per-call
-counting by a wide margin for the plan cache to be worth serving from.
+On top of that, two data-side comparisons of the context/shard layer:
+
+* **sharded counting** -- a 10^4+-tuple clustered structure counted
+  whole in one process vs. sharded over all cores;
+* **memoized semijoin ∃-elimination** -- a repeated-term ``ep-plus``
+  plan executed with the context's semijoin evaluator + boundary memo
+  vs. the per-term backtracking the executor used before contexts.
+
+Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
+``"runs"`` (key = version + mode), never overwriting earlier baselines;
+a pre-``runs`` report found in the file is migrated to its own key.
 
 Usage::
 
@@ -31,9 +38,11 @@ import time
 from pathlib import Path
 
 from repro import Engine, __version__
-from repro.engine.executor import execute
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute, execute_sharded
 from repro.engine.plan import compile_plan
-from repro.structures.random_gen import random_graph
+from repro.structures.random_gen import random_cluster_graph, random_graph
+from repro.structures.sharding import shard_structure
 from repro.workloads.generators import (
     example_4_2_query,
     example_5_21_query,
@@ -159,6 +168,119 @@ def bench_repeated_query(quick: bool) -> dict:
     }
 
 
+def bench_sharded_counting(quick: bool) -> dict:
+    """Whole-structure single-process vs. sharded multi-core counting.
+
+    The data is the clustered many-tenants shape (disjoint dense
+    clusters; 10^4+ tuples on the full run), the query a quantified
+    2-path.  All three measured paths return the identical count; the
+    contest is wall time: sharding wins twice over, from the per-shard
+    domains being tiny (the junction-tree DP is quadratic in the domain
+    here) and from the shards saturating every core.
+    """
+    clusters, size, p = (8, 10, 0.3) if quick else (60, 16, 0.7)
+    structure = random_cluster_graph(clusters, size, p, seed=7)
+    plan = compile_plan(path_query(2, quantify_interior=True))
+    sharded = shard_structure(structure, clusters)
+
+    whole_seconds, whole_count = _time(
+        lambda: execute(plan, structure, ExecutionContext(structure))
+    )
+    sharded_seq_seconds, sharded_seq_count = _time(
+        lambda: execute_sharded(plan, sharded, parallel=False)
+    )
+    sharded_par_seconds, sharded_par_count = _time(
+        lambda: execute_sharded(plan, sharded, parallel=True),
+        repeats=1 if quick else 3,
+    )
+    assert whole_count == sharded_seq_count == sharded_par_count
+    return {
+        "query": "path2_pairs",
+        "clusters": clusters,
+        "cluster_size": size,
+        "tuples": structure.total_tuples,
+        "universe": len(structure.universe),
+        "count": whole_count,
+        "whole_single_process_seconds": whole_seconds,
+        "sharded_sequential_seconds": sharded_seq_seconds,
+        "sharded_parallel_seconds": sharded_par_seconds,
+        "sharded_speedup": (
+            whole_seconds / sharded_par_seconds if sharded_par_seconds else None
+        ),
+    }
+
+
+def bench_semijoin_memo(quick: bool) -> dict:
+    """Memoized semijoin ∃-elimination vs. per-term backtracking.
+
+    The query is a union of path lengths, whose ``ep-plus`` expansion
+    repeats each path's ∃-component across the inclusion-exclusion
+    terms; the context memo computes each once (by semijoin reduction),
+    where the pre-context executor re-ran a backtracking search per
+    term.
+    """
+    clusters, size, p = (4, 8, 0.3) if quick else (8, 10, 0.5)
+    structure = random_cluster_graph(clusters, size, p, seed=11)
+    plan = compile_plan(union_of_paths_query([2, 3]))
+
+    def memoized() -> int:
+        return execute(plan, structure, ExecutionContext(structure))
+
+    def backtracking() -> int:
+        return execute(
+            plan, structure, ExecutionContext(structure, semijoin=False, memoize=False)
+        )
+
+    memo_seconds, memo_count = _time(memoized, repeats=1 if quick else 3)
+    # The backtracking baseline is the slow side by construction (it is
+    # cubic in the universe here); one measurement is plenty.
+    back_seconds, back_count = _time(backtracking)
+    assert memo_count == back_count
+    return {
+        "query": "union_paths_23",
+        "tuples": structure.total_tuples,
+        "universe": len(structure.universe),
+        "count": memo_count,
+        "terms": len(plan.terms),
+        "semijoin_memo_seconds": memo_seconds,
+        "backtracking_seconds": back_seconds,
+        "speedup": back_seconds / memo_seconds if memo_seconds else None,
+    }
+
+
+def append_report(output: Path, key: str, report: dict) -> dict:
+    """Append ``report`` under ``key`` in the keyed benchmark store.
+
+    Earlier entries are preserved; a legacy flat report (pre-``runs``
+    format) already in the file is migrated under its own key instead of
+    being clobbered.
+    """
+    store: dict = {"benchmark": "engine", "runs": {}}
+    if output.exists():
+        try:
+            existing = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            # Don't silently destroy an unreadable store: park it next
+            # to the output so earlier baselines stay recoverable.
+            backup = output.with_suffix(output.suffix + ".corrupt")
+            backup.write_text(output.read_text())
+            print(f"warning: {output} is not valid JSON; preserved as {backup}")
+            existing = {}
+        if isinstance(existing, dict) and isinstance(existing.get("runs"), dict):
+            store = existing
+        elif isinstance(existing, dict) and existing:
+            # The ":legacy" suffix keeps a migrated flat report from
+            # colliding with (and being clobbered by) a same-version
+            # keyed run.
+            legacy_key = (
+                f"{existing.get('version', 'unknown')}:"
+                f"{'quick' if existing.get('quick') else 'full'}:legacy"
+            )
+            store["runs"][legacy_key] = existing
+    store["runs"][key] = report
+    return store
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -184,22 +306,42 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios": bench_scenarios(args.quick),
         "families": bench_families(args.quick),
         "repeated_query": bench_repeated_query(args.quick),
+        "sharded_counting": bench_sharded_counting(args.quick),
+        "semijoin_memo": bench_semijoin_memo(args.quick),
     }
     repeated = report["repeated_query"]
+    sharded = report["sharded_counting"]
+    semijoin = report["semijoin_memo"]
     report["summary"] = {
         "total_seconds": time.perf_counter() - started,
         "repeated_query_speedup": repeated["speedup"],
         "scenario_median_speedup": sorted(
             row["speedup"] for row in report["scenarios"]
         )[len(report["scenarios"]) // 2],
+        "sharded_speedup": sharded["sharded_speedup"],
+        "semijoin_memo_speedup": semijoin["speedup"],
     }
 
-    output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {output}")
+    key = f"{__version__}:{'quick' if args.quick else 'full'}"
+    store = append_report(output, key, report)
+    output.write_text(json.dumps(store, indent=2) + "\n")
+    print(f"appended run {key!r} to {output} ({len(store['runs'])} runs kept)")
     print(
         f"repeated-query: cold {repeated['cold_seconds']:.4f}s, "
         f"warm {repeated['warm_seconds']:.4f}s, "
         f"speedup {repeated['speedup']:.1f}x"
+    )
+    print(
+        f"sharded 10^4-tuple counting ({sharded['tuples']} tuples): "
+        f"whole {sharded['whole_single_process_seconds']:.4f}s, "
+        f"sharded-parallel {sharded['sharded_parallel_seconds']:.4f}s, "
+        f"speedup {sharded['sharded_speedup']:.1f}x"
+    )
+    print(
+        f"semijoin+memo vs per-term backtracking: "
+        f"{semijoin['semijoin_memo_seconds']:.4f}s vs "
+        f"{semijoin['backtracking_seconds']:.4f}s, "
+        f"speedup {semijoin['speedup']:.1f}x"
     )
     return 0
 

@@ -14,7 +14,7 @@ import time
 from repro import Engine
 from repro.engine.plan import compile_plan
 from repro.structures.random_gen import random_graph
-from repro.workloads.scenarios import social_network
+from repro.workloads.scenarios import social_network, tenant_network
 
 
 def main() -> None:
@@ -49,9 +49,19 @@ def main() -> None:
     for name, row in zip(scenario.queries, grid):
         print(f"{name:28s} {row}")
 
+    print("\n== sharded counting over a multi-tenant structure ==")
+    tenants = tenant_network(tenants=10, people_per_tenant=8, seed=1)
+    tenant_structure = tenants.structure()
+    query = tenants.queries["followers_of_followers"].to_ep()
+    whole = engine.count(query, tenant_structure)
+    sharded = engine.count_sharded(
+        query, tenant_structure, shard_count=4, parallel=False
+    )
+    print(f"whole={whole}  sharded(4)={sharded}  (exactly equal by construction)")
+
     print("\n== engine stats ==")
     for key, value in engine.stats().as_dict().items():
-        print(f"{key:18s} {value}")
+        print(f"{key:28s} {value}")
 
 
 if __name__ == "__main__":

@@ -37,11 +37,14 @@ from repro.logic import (
 )
 from repro.structures import (
     Structure,
+    ShardedStructure,
     StructureBuilder,
     direct_product,
     disjoint_union,
+    random_cluster_graph,
     random_graph,
     random_structure,
+    shard_structure,
 )
 from repro.core import (
     Case,
@@ -51,6 +54,7 @@ from repro.core import (
     classify_query,
     count_answers,
     count_answers_all_strategies,
+    count_answers_sharded,
     counting_equivalent,
     plus_set,
     semi_counting_equivalent,
@@ -61,12 +65,14 @@ from repro.engine import (
     CountingPlan,
     Engine,
     EngineStats,
+    ExecutionContext,
     compile_plan,
     count_many,
     default_engine,
+    execute_sharded,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -82,11 +88,14 @@ __all__ = [
     "parse_query",
     "pp_from_atom_specs",
     "Structure",
+    "ShardedStructure",
     "StructureBuilder",
     "direct_product",
     "disjoint_union",
+    "random_cluster_graph",
     "random_graph",
     "random_structure",
+    "shard_structure",
     "Case",
     "Classification",
     "classify_ep_class",
@@ -94,6 +103,7 @@ __all__ = [
     "classify_query",
     "count_answers",
     "count_answers_all_strategies",
+    "count_answers_sharded",
     "counting_equivalent",
     "plus_set",
     "semi_counting_equivalent",
@@ -105,8 +115,10 @@ __all__ = [
     "CountingPlan",
     "Engine",
     "EngineStats",
+    "ExecutionContext",
     "compile_plan",
     "count_many",
     "default_engine",
+    "execute_sharded",
     "__version__",
 ]

@@ -33,8 +33,8 @@ module implements both the structural notions and the algorithm:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
 
 import networkx as nx
 
@@ -43,9 +43,11 @@ from repro.algorithms.decomposition import TreeDecomposition
 from repro.algorithms.treewidth import treewidth
 from repro.logic.pp import PPFormula
 from repro.logic.terms import Variable
-from repro.structures.homomorphism import enumerate_extendable_assignments
-from repro.structures.indexes import PositionalIndex
 from repro.structures.structure import Element, Structure
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (the engine
+    # imports this module; the runtime import below is deferred)
+    from repro.engine.context import ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -221,20 +223,26 @@ def compile_pp_plan(formula: PPFormula, use_core: bool = True) -> PPCountingPlan
 def execute_pp_plan(
     plan: PPCountingPlan,
     structure: Structure,
-    target_index: PositionalIndex | None = None,
+    context: "ExecutionContext | None" = None,
 ) -> int:
     """Count the answers of a compiled pp-plan on one data structure.
 
     This is the data-side half of :func:`count_pp_answers_fpt`: fill the
     liberal-atom table constraints from the structure, eliminate each
-    ∃-component by the boundary-relation homomorphism search, and run
-    the junction-tree count over the precomputed decomposition.
-    ``target_index`` shares one positional index of the structure across
-    the component searches.
+    ∃-component through the :class:`~repro.engine.context.
+    ExecutionContext` (memoized semijoin reduction when the component is
+    acyclic with a small boundary, backtracking otherwise), and run the
+    junction-tree count over the precomputed decomposition.  ``context``
+    shares the positional index and the boundary-relation memo across
+    plans, terms, and calls; a throwaway context is created when none is
+    given.
     """
     if structure.is_empty():
         return 0 if plan.formula.variables else 1
-    domain = sorted(structure.universe, key=repr)
+    if context is None:
+        from repro.engine.context import ExecutionContext
+
+        context = ExecutionContext(structure)
 
     constraints: list[Constraint] = []
     for name, scope in plan.liberal_atom_scopes:
@@ -250,19 +258,13 @@ def execute_pp_plan(
         if not boundary:
             # A pp-sentence part: it contributes a factor 1 if satisfiable
             # on the structure and 0 otherwise.
-            if not any(True for _ in enumerate_extendable_assignments(
-                component.structure, structure, [], target_index
-            )):
+            if not context.component_satisfiable(component):
                 return 0
             continue
-        allowed = set()
-        for assignment in enumerate_extendable_assignments(
-            component.structure, structure, boundary, target_index
-        ):
-            allowed.add(tuple(assignment[v] for v in boundary))
-        constraints.append(Constraint(tuple(boundary), frozenset(allowed)))
+        allowed = context.boundary_relation(component)
+        constraints.append(Constraint(tuple(boundary), allowed))
 
-    instance = CSPInstance.build(plan.liberal_order, domain, constraints)
+    instance = CSPInstance.build(plan.liberal_order, list(context.domain), constraints)
     return count_solutions(instance, decomposition=plan.decomposition, strategy="auto")
 
 
@@ -289,13 +291,8 @@ def count_pp_answers_fpt(
         return 0 if formula.variables else 1
     plan = compile_pp_plan(formula, use_core=use_core)
     if decomposition is not None:
-        plan = PPCountingPlan(
-            formula=plan.formula,
-            base=plan.base,
-            liberal_order=plan.liberal_order,
-            liberal_atom_scopes=plan.liberal_atom_scopes,
-            components=plan.components,
-            decomposition=decomposition,
-            width=decomposition.width,
-        )
+        # dataclasses.replace keeps the reconstruction honest as fields
+        # are added to PPCountingPlan; the width is always taken from
+        # the override so the plan never reports a stale width.
+        plan = replace(plan, decomposition=decomposition, width=decomposition.width)
     return execute_pp_plan(plan, structure)

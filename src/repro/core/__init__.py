@@ -4,6 +4,7 @@ from repro.core.counting import (
     STRATEGIES,
     count_answers,
     count_answers_all_strategies,
+    count_answers_sharded,
     make_counter,
 )
 from repro.core.equivalence import (
@@ -63,6 +64,7 @@ __all__ = [
     "STRATEGIES",
     "count_answers",
     "count_answers_all_strategies",
+    "count_answers_sharded",
     "make_counter",
     "counting_equivalent",
     "counting_equivalent_on",

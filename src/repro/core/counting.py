@@ -67,6 +67,7 @@ def count_answers(
     structure: Structure,
     strategy: str = "auto",
     engine=_USE_DEFAULT_ENGINE,
+    context=None,
 ) -> int:
     """Count the answers ``|query(structure)|``.
 
@@ -94,6 +95,13 @@ def count_answers(
         The :class:`~repro.engine.Engine` to route through.  Defaults to
         the process-wide default engine (plan caching on); pass ``None``
         to bypass the engine and run the legacy uncached pipeline.
+    context:
+        An explicit :class:`~repro.engine.context.ExecutionContext`
+        built for ``structure``.  When given, the compiled plan is
+        executed against that context (sharing its index and memoized
+        boundary relations with the caller) instead of the engine's
+        context cache; plans still come from the engine's plan cache
+        when an engine is in play.
     """
     if strategy not in STRATEGIES:
         raise ReproError(f"unknown strategy {strategy!r}; choose one of {STRATEGIES}")
@@ -102,6 +110,20 @@ def count_answers(
         from repro.engine.api import default_engine
 
         engine = default_engine()
+    if context is not None:
+        from repro.engine.executor import execute
+        from repro.engine.plan import compile_plan
+
+        if context.structure is not structure and context.structure != structure:
+            raise ReproError(
+                "the execution context was built for a different structure"
+            )
+        plan = (
+            engine.compile(query, strategy)
+            if engine is not None
+            else compile_plan(query, strategy)
+        )
+        return execute(plan, structure, context)
     if engine is not None:
         return engine.count(query, structure, strategy=strategy)
 
@@ -129,6 +151,42 @@ def count_answers(
     if query.is_primitive_positive():
         return count_pp_answers_fpt(query.to_pp(), structure)
     return count_ep_answers_via_plus(query, structure, counter=count_pp_answers_fpt)
+
+
+def count_answers_sharded(
+    query: Query,
+    structure: Structure,
+    shard_count: int | None = None,
+    strategy: str = "auto",
+    engine=_USE_DEFAULT_ENGINE,
+    parallel: bool | None = None,
+    processes: int | None = None,
+) -> int:
+    """Count ``|query(structure)|`` by sharded data-side execution.
+
+    Convenience wrapper over :meth:`repro.engine.Engine.count_sharded`:
+    the structure is partitioned into component-aligned shards (default:
+    one per CPU), each connected query component is counted per shard --
+    over the process pool where that pays off -- and the exact count is
+    recombined (shard counts sum, query components multiply, sentence
+    components OR).
+    """
+    if engine is _USE_DEFAULT_ENGINE:
+        from repro.engine.api import default_engine
+
+        engine = default_engine()
+    if engine is None:
+        from repro.engine.api import Engine
+
+        engine = Engine()
+    return engine.count_sharded(
+        query,
+        structure,
+        shard_count=shard_count,
+        strategy=strategy,
+        parallel=parallel,
+        processes=processes,
+    )
 
 
 def count_answers_all_strategies(query: Query, structure: Structure) -> dict[str, int]:

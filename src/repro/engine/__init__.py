@@ -6,11 +6,18 @@ inclusion-exclusion) from per-structure execution, so plans are built
 once, cached, and run many times over many structures:
 
 * :mod:`repro.engine.plan` -- :func:`compile_plan` /
-  :class:`CountingPlan`: the structure-independent compilation;
+  :class:`CountingPlan`: the structure-independent compilation, plus
+  :func:`component_pp_plans`, the query-component split the sharded
+  path executes;
+* :mod:`repro.engine.context` -- :class:`ExecutionContext`: the
+  per-structure execution state (lazy positional index, sorted domain,
+  memoized semijoin ∃-component boundary relations, cached shard
+  partitions);
 * :mod:`repro.engine.cache` -- LRU plan cache keyed by canonical query
-  form, plus per-structure positional-index cache;
-* :mod:`repro.engine.executor` -- :func:`execute` and the batch
-  :func:`count_many` with a multiprocessing path;
+  form, plus the per-structure execution-context cache;
+* :mod:`repro.engine.executor` -- :func:`execute`, the batch
+  :func:`count_many` with a multiprocessing path, and the sharded
+  :func:`execute_sharded` scale-out path;
 * :mod:`repro.engine.api` -- the :class:`Engine` facade with hit-rate
   and timing statistics, and the process-wide default engine behind
   :func:`repro.core.counting.count_answers`.
@@ -24,18 +31,20 @@ from repro.engine.api import (
     set_default_engine,
 )
 from repro.engine.cache import (
+    ExecutionContextCache,
     LRUCache,
     PlanCache,
-    StructureIndexCache,
     canonical_query_form,
     plan_key,
 )
-from repro.engine.executor import count_many, execute
+from repro.engine.context import ContextStats, ExecutionContext
+from repro.engine.executor import count_many, execute, execute_sharded
 from repro.engine.plan import (
     PLAN_KINDS,
     CountingPlan,
     WeightedPPPlan,
     compile_plan,
+    component_pp_plans,
 )
 
 __all__ = [
@@ -46,13 +55,17 @@ __all__ = [
     "set_default_engine",
     "LRUCache",
     "PlanCache",
-    "StructureIndexCache",
+    "ExecutionContextCache",
+    "ContextStats",
+    "ExecutionContext",
     "canonical_query_form",
     "plan_key",
     "count_many",
     "execute",
+    "execute_sharded",
     "PLAN_KINDS",
     "CountingPlan",
     "WeightedPPPlan",
     "compile_plan",
+    "component_pp_plans",
 ]

@@ -2,10 +2,11 @@
 
 :class:`Engine` ties the pieces together: it compiles queries into
 :class:`~repro.engine.plan.CountingPlan` objects through an LRU plan
-cache, indexes data structures through an LRU
-:class:`~repro.structures.indexes.PositionalIndex` cache, executes plans
-sequentially or over a process pool, and keeps hit-rate and timing
-statistics.
+cache, serves data structures through an LRU cache of
+:class:`~repro.engine.context.ExecutionContext` objects (positional
+index + sorted domain + memoized ∃-component boundary relations + shard
+partitions), executes plans sequentially, over a process pool, or
+sharded, and keeps hit-rate and timing statistics.
 
 A module-level default engine backs
 :func:`repro.core.counting.count_answers`, so every existing caller of
@@ -32,13 +33,18 @@ from typing import Sequence
 
 from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
 from repro.engine.cache import (
-    DEFAULT_INDEX_CACHE_SIZE,
+    DEFAULT_CONTEXT_CACHE_SIZE,
     DEFAULT_PLAN_CACHE_SIZE,
+    ExecutionContextCache,
     PlanCache,
-    StructureIndexCache,
 )
+from repro.engine.executor import _CONTEXT_KINDS
 from repro.engine.executor import count_many as _count_many
-from repro.engine.executor import execute
+from repro.engine.executor import (
+    default_process_count,
+    execute,
+    execute_sharded,
+)
 from repro.engine.plan import CountingPlan, Query
 from repro.structures.structure import Structure
 
@@ -48,17 +54,28 @@ class EngineStats:
     """Counters and timings accumulated by an :class:`Engine`.
 
     ``plan_hits`` / ``plan_misses`` count plan-cache lookups (a miss
-    compiles); ``index_hits`` / ``index_misses`` count structure-index
-    lookups.  ``compile_seconds`` is time spent compiling plans,
+    compiles); ``context_hits`` / ``context_misses`` count
+    execution-context lookups (a miss creates a context; its positional
+    index is still built lazily, counted by ``index_builds``).
+    ``boundary_memo_hits`` / ``boundary_memo_misses`` count memoized
+    ∃-component boundary-relation lookups, and ``semijoin_eliminations``
+    / ``backtracking_eliminations`` say which evaluator served each
+    miss.  ``compile_seconds`` is time spent compiling plans,
     ``execute_seconds`` time spent executing them.
     """
 
     count_calls: int = 0
     batch_calls: int = 0
+    sharded_calls: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
-    index_hits: int = 0
-    index_misses: int = 0
+    context_hits: int = 0
+    context_misses: int = 0
+    index_builds: int = 0
+    boundary_memo_hits: int = 0
+    boundary_memo_misses: int = 0
+    semijoin_eliminations: int = 0
+    backtracking_eliminations: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
     strategies: dict[str, int] = field(default_factory=dict)
@@ -69,21 +86,40 @@ class EngineStats:
         return self.plan_hits / total if total else 0.0
 
     @property
+    def context_hit_rate(self) -> float:
+        total = self.context_hits + self.context_misses
+        return self.context_hits / total if total else 0.0
+
+    # Backwards-compatible aliases from the index-cache era.
+    @property
+    def index_hits(self) -> int:
+        return self.context_hits
+
+    @property
+    def index_misses(self) -> int:
+        return self.context_misses
+
+    @property
     def index_hit_rate(self) -> float:
-        total = self.index_hits + self.index_misses
-        return self.index_hits / total if total else 0.0
+        return self.context_hit_rate
 
     def as_dict(self) -> dict:
         """A JSON-friendly snapshot (used by the benchmark harness)."""
         return {
             "count_calls": self.count_calls,
             "batch_calls": self.batch_calls,
+            "sharded_calls": self.sharded_calls,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
             "plan_hit_rate": self.plan_hit_rate,
-            "index_hits": self.index_hits,
-            "index_misses": self.index_misses,
-            "index_hit_rate": self.index_hit_rate,
+            "context_hits": self.context_hits,
+            "context_misses": self.context_misses,
+            "context_hit_rate": self.context_hit_rate,
+            "index_builds": self.index_builds,
+            "boundary_memo_hits": self.boundary_memo_hits,
+            "boundary_memo_misses": self.boundary_memo_misses,
+            "semijoin_eliminations": self.semijoin_eliminations,
+            "backtracking_eliminations": self.backtracking_eliminations,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "strategies": dict(self.strategies),
@@ -91,14 +127,14 @@ class EngineStats:
 
 
 class Engine:
-    """A compiled-plan counting engine with plan and structure caches.
+    """A compiled-plan counting engine with plan and context caches.
 
     Parameters
     ----------
     plan_cache_size:
         Capacity of the LRU cache of compiled plans.
-    index_cache_size:
-        Capacity of the LRU cache of per-structure positional indexes.
+    context_cache_size:
+        Capacity of the LRU cache of per-structure execution contexts.
     max_disjuncts:
         Safety limit forwarded to the inclusion-exclusion expansion.
     """
@@ -106,17 +142,18 @@ class Engine:
     def __init__(
         self,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
-        index_cache_size: int = DEFAULT_INDEX_CACHE_SIZE,
+        context_cache_size: int = DEFAULT_CONTEXT_CACHE_SIZE,
         max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
     ):
         self.plans = PlanCache(plan_cache_size)
-        self.indexes = StructureIndexCache(index_cache_size)
+        self.contexts = ExecutionContextCache(context_cache_size)
         self.max_disjuncts = max_disjuncts
         self._lock = threading.Lock()
         self._compile_seconds = 0.0
         self._execute_seconds = 0.0
         self._count_calls = 0
         self._batch_calls = 0
+        self._sharded_calls = 0
         self._strategies: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -128,21 +165,60 @@ class Engine:
             self._compile_seconds += time.perf_counter() - before
         return plan
 
+    def _context_for(self, plan: CountingPlan, structure: Structure):
+        # The baseline kinds never consult a context; don't build (or
+        # pin in the LRU) one for them.
+        if plan.kind in _CONTEXT_KINDS:
+            return self.contexts.get(structure)
+        return None
+
     def count(self, query: Query, structure: Structure, strategy: str = "auto") -> int:
         """Count ``|query(structure)|`` through the plan cache."""
         plan = self.compile(query, strategy)
-        # The baseline kinds never consult an index; don't build (or pin
-        # in the LRU) one for them.
-        index = (
-            self.indexes.get(structure)
-            if plan.kind in ("pp-fpt", "ep-plus")
-            else None
-        )
+        context = self._context_for(plan, structure)
         before = time.perf_counter()
-        result = execute(plan, structure, index)
+        result = execute(plan, structure, context)
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._count_calls += 1
+            self._strategies[strategy] = self._strategies.get(strategy, 0) + 1
+        return result
+
+    def count_sharded(
+        self,
+        query: Query,
+        structure: Structure,
+        shard_count: int | None = None,
+        strategy: str = "auto",
+        shard_strategy: str = "hash",
+        parallel: bool | None = None,
+        processes: int | None = None,
+    ) -> int:
+        """Count ``|query(structure)|`` by sharded data-side execution.
+
+        The structure is partitioned into ``shard_count``
+        disjoint-universe shards (default: one per CPU; the partition is
+        cached on the structure's execution context), every connected
+        query component runs against every shard -- over the process
+        pool when ``parallel`` allows -- and the per-shard results are
+        combined exactly.  Returns precisely what :meth:`count` returns.
+        """
+        plan = self.compile(query, strategy)
+        before = time.perf_counter()
+        if plan.kind in _CONTEXT_KINDS:
+            context = self.contexts.get(structure)
+            sharded = context.sharded(
+                shard_count or default_process_count(), shard_strategy
+            )
+            result = execute_sharded(
+                plan, sharded, parallel=parallel, processes=processes
+            )
+        else:
+            result = execute(plan, structure, None)
+        with self._lock:
+            self._execute_seconds += time.perf_counter() - before
+            self._count_calls += 1
+            self._sharded_calls += 1
             self._strategies[strategy] = self._strategies.get(strategy, 0) + 1
         return result
 
@@ -157,8 +233,9 @@ class Engine:
         """Count every query on every structure: ``result[i][j] = |q_i(B_j)|``.
 
         Plans come from (and warm) the engine's plan cache; the parallel
-        path ships the compiled plans to a process pool, the sequential
-        path shares the engine's structure indexes.
+        path ships the compiled plans to a process pool in
+        structure-major blocks, the sequential path shares the engine's
+        execution contexts.
         """
         plans = [self.compile(q, strategy) for q in queries]
         before = time.perf_counter()
@@ -168,7 +245,7 @@ class Engine:
             strategy=strategy,
             parallel=parallel,
             processes=processes,
-            index_cache=self.indexes,
+            context_cache=self.contexts,
         )
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
@@ -182,38 +259,46 @@ class Engine:
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
         """A snapshot of the engine's counters."""
+        context_stats = self.contexts.context_stats
         with self._lock:
             return EngineStats(
                 count_calls=self._count_calls,
                 batch_calls=self._batch_calls,
+                sharded_calls=self._sharded_calls,
                 plan_hits=self.plans.hits,
                 plan_misses=self.plans.misses,
-                index_hits=self.indexes.hits,
-                index_misses=self.indexes.misses,
+                context_hits=self.contexts.hits,
+                context_misses=self.contexts.misses,
+                index_builds=context_stats.index_builds,
+                boundary_memo_hits=context_stats.boundary_hits,
+                boundary_memo_misses=context_stats.boundary_misses,
+                semijoin_eliminations=context_stats.semijoin_eliminations,
+                backtracking_eliminations=context_stats.backtracking_eliminations,
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),
             )
 
     def clear_caches(self) -> None:
-        """Drop all cached plans and indexes (a "cold" engine again)."""
+        """Drop all cached plans and contexts (a "cold" engine again)."""
         self.plans.clear()
-        self.indexes.clear()
+        self.contexts.clear()
 
     def reset_stats(self) -> None:
         """Zero all counters and timings."""
         self.plans.reset_stats()
-        self.indexes.reset_stats()
+        self.contexts.reset_stats()
         with self._lock:
             self._compile_seconds = 0.0
             self._execute_seconds = 0.0
             self._count_calls = 0
             self._batch_calls = 0
+            self._sharded_calls = 0
             self._strategies = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"Engine(plans={len(self.plans)}, indexes={len(self.indexes)}, "
+            f"Engine(plans={len(self.plans)}, contexts={len(self.contexts)}, "
             f"plan_hit_rate={self.plans.hit_rate:.2f})"
         )
 

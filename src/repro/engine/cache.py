@@ -6,10 +6,12 @@ Two caches make plan reuse pay off:
   CountingPlan` objects keyed by a canonical form of the query plus the
   requested strategy.  Query texts are additionally memoized through a
   parse cache so serving the same SQL-ish string twice never re-parses.
-* :class:`StructureIndexCache` -- an LRU of
-  :class:`~repro.structures.indexes.PositionalIndex` objects, one per
-  data structure, shared between the executor's table constraints and
-  the homomorphism searches that eliminate ∃-components.
+* :class:`ExecutionContextCache` -- an LRU of
+  :class:`~repro.engine.context.ExecutionContext` objects, one per data
+  structure.  This generalizes the original per-structure
+  positional-index cache: a context carries the index *and* the sorted
+  domain, the memoized ∃-component boundary relations, and cached shard
+  partitions, so everything data-derived is shared between executions.
 
 Both are thin wrappers over :class:`LRUCache`, which tracks hit/miss
 statistics the :class:`~repro.engine.api.Engine` surfaces.
@@ -22,11 +24,11 @@ from collections import OrderedDict
 from typing import Callable, Generic, Hashable, TypeVar
 
 from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
+from repro.engine.context import ContextStats, ExecutionContext
 from repro.engine.plan import CountingPlan, Query, as_ep, compile_plan
 from repro.exceptions import ReproError
 from repro.logic.ep import EPFormula
 from repro.logic.pp import PPFormula
-from repro.structures.indexes import PositionalIndex
 from repro.structures.structure import Structure
 
 Key = TypeVar("Key", bound=Hashable)
@@ -34,8 +36,11 @@ Value = TypeVar("Value")
 
 #: Default capacity of the plan cache.
 DEFAULT_PLAN_CACHE_SIZE = 256
-#: Default capacity of the structure-index cache.
-DEFAULT_INDEX_CACHE_SIZE = 32
+#: Default capacity of the execution-context cache.
+DEFAULT_CONTEXT_CACHE_SIZE = 32
+#: Backwards-compatible alias (the context cache subsumed the old
+#: per-structure index cache).
+DEFAULT_INDEX_CACHE_SIZE = DEFAULT_CONTEXT_CACHE_SIZE
 #: Default capacity of the query-text parse cache.
 DEFAULT_PARSE_CACHE_SIZE = 1024
 
@@ -205,20 +210,25 @@ class PlanCache:
         self._parse_cache.reset_stats()
 
 
-class StructureIndexCache:
-    """An LRU cache of positional indexes, one per data structure.
+class ExecutionContextCache:
+    """An LRU cache of execution contexts, one per data structure.
 
     Keyed by the structure itself (structures are immutable and
-    hashable); the first lookup pays one pass over the relations, every
-    later execution against the same structure shares the index.
+    hashable); the first lookup creates the context, every later
+    execution against the same structure shares its positional index,
+    boundary-relation memo, and shard partitions.  All contexts created
+    by one cache share a single :class:`~repro.engine.context.
+    ContextStats` sink so the engine can report aggregate counters.
     """
 
-    def __init__(self, capacity: int = DEFAULT_INDEX_CACHE_SIZE):
-        self._cache: LRUCache[Structure, PositionalIndex] = LRUCache(capacity)
+    def __init__(self, capacity: int = DEFAULT_CONTEXT_CACHE_SIZE):
+        self._cache: LRUCache[Structure, ExecutionContext] = LRUCache(capacity)
+        self.context_stats = ContextStats()
 
-    def get(self, structure: Structure) -> PositionalIndex:
+    def get(self, structure: Structure) -> ExecutionContext:
         return self._cache.get_or_compute(
-            structure, lambda: PositionalIndex(structure)
+            structure,
+            lambda: ExecutionContext(structure, stats=self.context_stats),
         )
 
     @property
@@ -241,3 +251,10 @@ class StructureIndexCache:
 
     def reset_stats(self) -> None:
         self._cache.reset_stats()
+        # Zero in place: cached contexts hold a reference to this sink.
+        stats = self.context_stats
+        stats.index_builds = 0
+        stats.boundary_hits = 0
+        stats.boundary_misses = 0
+        stats.semijoin_eliminations = 0
+        stats.backtracking_eliminations = 0

@@ -1,0 +1,416 @@
+"""Per-structure execution contexts: the data-side state of the engine.
+
+An :class:`ExecutionContext` bundles everything the executor derives
+from one data structure -- the lazily built
+:class:`~repro.structures.indexes.PositionalIndex`, the sorted domain,
+a memo of per-∃-component boundary relations, and (for the sharded
+path) cached :class:`~repro.structures.sharding.ShardedStructure`
+partitions -- so that every plan executed against the same structure
+shares the work instead of re-deriving it per call, per term, or per
+grid cell.
+
+Besides caching, the context owns the *semijoin* ∃-component
+elimination: when a component's boundary is small and its atom
+hypergraph is α-acyclic (checked by GYO ear removal), the boundary
+relation of the component is computed by a join-tree sweep of
+semijoin/project steps over the positional index instead of the
+backtracking search of
+:func:`repro.structures.homomorphism.enumerate_extendable_assignments`.
+Both evaluators are exact; the semijoin path is asymptotically better
+on acyclic components because it never enumerates boundary assignments
+that die inside the component, and its results are memoized per
+(component, structure), which is what makes repeated ``ep-plus``
+inclusion-exclusion terms (which share ∃-components across terms)
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.structures.homomorphism import (
+    enumerate_extendable_assignments,
+    has_homomorphism,
+)
+from repro.structures.indexes import PositionalIndex
+from repro.structures.structure import Element, Structure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fpt_counting
+    # lazily imports this module from execute_pp_plan)
+    from repro.algorithms.fpt_counting import ExistsComponent
+    from repro.logic.pp import PPFormula
+    from repro.logic.terms import Variable
+    from repro.structures.sharding import ShardedStructure
+
+#: Largest boundary for which the semijoin evaluator is attempted; wider
+#: boundaries fall back to backtracking (their relations are big enough
+#: that materializing join tables stops paying off).
+SEMIJOIN_MAX_BOUNDARY = 3
+
+#: Safety valve: if an intermediate join table exceeds this many rows
+#: the semijoin evaluator aborts and the backtracking path takes over.
+SEMIJOIN_ROW_CAP = 500_000
+
+
+@dataclass
+class ContextStats:
+    """Counters accumulated by one or more execution contexts.
+
+    ``index_builds`` counts positional-index constructions (the
+    regression target of the context refactor: at most one per distinct
+    structure on the sequential paths).  ``boundary_hits`` /
+    ``boundary_misses`` count lookups of memoized ∃-component boundary
+    relations; ``semijoin_eliminations`` / ``backtracking_eliminations``
+    count which evaluator served each miss.
+    """
+
+    index_builds: int = 0
+    boundary_hits: int = 0
+    boundary_misses: int = 0
+    semijoin_eliminations: int = 0
+    backtracking_eliminations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "index_builds": self.index_builds,
+            "boundary_hits": self.boundary_hits,
+            "boundary_misses": self.boundary_misses,
+            "semijoin_eliminations": self.semijoin_eliminations,
+            "backtracking_eliminations": self.backtracking_eliminations,
+        }
+
+
+class _SemijoinBlowup(Exception):
+    """Internal: an intermediate join table exceeded the row cap."""
+
+
+def _boundary_order(component: "ExistsComponent") -> tuple["Variable", ...]:
+    """The fixed column order of a component's boundary relation."""
+    return tuple(sorted(component.boundary, key=lambda v: v.name))
+
+
+class ExecutionContext:
+    """The per-structure execution state shared across plan executions.
+
+    Parameters
+    ----------
+    structure:
+        The data structure this context serves.
+    stats:
+        Counter sink; contexts created by an
+        :class:`~repro.engine.cache.ExecutionContextCache` share one so
+        the engine can surface aggregate numbers.
+    semijoin:
+        Enable the semijoin ∃-component evaluator (on by default; the
+        benchmark harness disables it to measure the backtracking
+        baseline).
+    memoize:
+        Enable the per-(component, structure) boundary-relation memo.
+    """
+
+    __slots__ = (
+        "structure",
+        "stats",
+        "semijoin",
+        "memoize",
+        "semijoin_max_boundary",
+        "_index",
+        "_domain",
+        "_boundary_memo",
+        "_satisfiable_memo",
+        "_sentence_memo",
+        "_sharded_memo",
+    )
+
+    def __init__(
+        self,
+        structure: Structure,
+        stats: ContextStats | None = None,
+        semijoin: bool = True,
+        memoize: bool = True,
+        semijoin_max_boundary: int = SEMIJOIN_MAX_BOUNDARY,
+    ):
+        self.structure = structure
+        self.stats = stats if stats is not None else ContextStats()
+        self.semijoin = semijoin
+        self.memoize = memoize
+        self.semijoin_max_boundary = semijoin_max_boundary
+        self._index: PositionalIndex | None = None
+        self._domain: tuple[Element, ...] | None = None
+        self._boundary_memo: dict["ExistsComponent", frozenset] = {}
+        self._satisfiable_memo: dict["ExistsComponent", bool] = {}
+        self._sentence_memo: dict["PPFormula", bool] = {}
+        self._sharded_memo: dict[tuple[int, str], "ShardedStructure"] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> PositionalIndex:
+        """The positional index of the structure (built on first use)."""
+        if self._index is None:
+            self._index = PositionalIndex(self.structure)
+            self.stats.index_builds += 1
+        return self._index
+
+    @property
+    def domain(self) -> tuple[Element, ...]:
+        """The universe in the deterministic order the CSP layer uses."""
+        if self._domain is None:
+            self._domain = tuple(sorted(self.structure.universe, key=repr))
+        return self._domain
+
+    # ------------------------------------------------------------------
+    # ∃-component elimination
+    # ------------------------------------------------------------------
+    def boundary_relation(self, component: "ExistsComponent") -> frozenset:
+        """The relation over the component's boundary (sorted by name):
+        the boundary assignments that extend to a homomorphism of the
+        component into the structure.  Memoized per component."""
+        if self.memoize and component in self._boundary_memo:
+            self.stats.boundary_hits += 1
+            return self._boundary_memo[component]
+        self.stats.boundary_misses += 1
+        relation = self._eliminate(component, _boundary_order(component))
+        if self.memoize:
+            self._boundary_memo[component] = relation
+        return relation
+
+    def component_satisfiable(self, component: "ExistsComponent") -> bool:
+        """Does the (boundary-free) component map into the structure?"""
+        if self.memoize and component in self._satisfiable_memo:
+            self.stats.boundary_hits += 1
+            return self._satisfiable_memo[component]
+        self.stats.boundary_misses += 1
+        satisfiable = bool(self._eliminate(component, ()))
+        if self.memoize:
+            self._satisfiable_memo[component] = satisfiable
+        return satisfiable
+
+    def sentence_holds(self, sentence: "PPFormula") -> bool:
+        """Does the pp-sentence hold on the structure?  Memoized."""
+        if self.memoize and sentence in self._sentence_memo:
+            return self._sentence_memo[sentence]
+        if self.structure.is_empty():
+            holds = not sentence.variables
+        else:
+            holds = has_homomorphism(
+                sentence.structure, self.structure, target_index=self.index
+            )
+        if self.memoize:
+            self._sentence_memo[sentence] = holds
+        return holds
+
+    def _eliminate(
+        self, component: "ExistsComponent", boundary: tuple["Variable", ...]
+    ) -> frozenset:
+        """Compute a boundary relation, semijoin-first with fallback."""
+        if self.structure.is_empty():
+            # No assignment of anything exists on the empty structure;
+            # callers short-circuit earlier, this is purely defensive.
+            return frozenset()
+        if (
+            self.semijoin
+            and len(boundary) <= self.semijoin_max_boundary
+            and component.structure.signature.is_subsignature_of(
+                self.structure.signature
+            )
+        ):
+            try:
+                relation = _semijoin_project(component.structure, self.index, boundary)
+            except _SemijoinBlowup:
+                relation = None
+            if relation is not None:
+                self.stats.semijoin_eliminations += 1
+                return relation
+        self.stats.backtracking_eliminations += 1
+        allowed = set()
+        for assignment in enumerate_extendable_assignments(
+            component.structure, self.structure, boundary, self.index
+        ):
+            allowed.add(tuple(assignment[v] for v in boundary))
+        return frozenset(allowed)
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def sharded(self, shard_count: int, strategy: str = "hash") -> "ShardedStructure":
+        """A cached component-aligned partition of the structure."""
+        key = (shard_count, strategy)
+        if key not in self._sharded_memo:
+            from repro.structures.sharding import shard_structure
+
+            self._sharded_memo[key] = shard_structure(
+                self.structure, shard_count, strategy=strategy
+            )
+        return self._sharded_memo[key]
+
+    def clear(self) -> None:
+        """Drop all memoized state (the index stays, it is immutable)."""
+        self._boundary_memo.clear()
+        self._satisfiable_memo.clear()
+        self._sentence_memo.clear()
+        self._sharded_memo.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionContext(|U|={len(self.structure)}, "
+            f"indexed={self._index is not None}, "
+            f"boundaries={len(self._boundary_memo)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Semijoin evaluation of acyclic components
+# ----------------------------------------------------------------------
+def _gyo_join_tree(
+    hyperedges: Sequence[frozenset],
+) -> list[tuple[int, int]] | None:
+    """GYO ear removal: a join tree for an α-acyclic hypergraph.
+
+    Returns the removal sequence as ``(ear, parent)`` index pairs (ears
+    first, so every edge's children precede it), or ``None`` when the
+    hypergraph is cyclic.  The edge never removed is the root.
+    """
+    alive = dict(enumerate(hyperedges))
+    removed: list[tuple[int, int]] = []
+    while len(alive) > 1:
+        ear = None
+        for i, e in alive.items():
+            shared = {
+                v for v in e if any(v in alive[j] for j in alive if j != i)
+            }
+            parent = next(
+                (j for j in alive if j != i and shared <= alive[j]), None
+            )
+            if parent is not None:
+                ear = (i, parent)
+                break
+        if ear is None:
+            return None
+        removed.append(ear)
+        del alive[ear[0]]
+    return removed
+
+
+def _base_table(
+    index: PositionalIndex, name: str, scope: tuple
+) -> tuple[tuple, set]:
+    """Materialize one atom as a (columns, rows) table.
+
+    Repeated variables in the scope become equality filters; columns are
+    the distinct variables in first-occurrence order.
+    """
+    columns: list = []
+    for variable in scope:
+        if variable not in columns:
+            columns.append(variable)
+    rows: set[tuple] = set()
+    for t in index.tuples(name):
+        values: dict = {}
+        consistent = True
+        for variable, value in zip(scope, t):
+            if values.setdefault(variable, value) != value:
+                consistent = False
+                break
+        if consistent:
+            rows.add(tuple(values[c] for c in columns))
+    return tuple(columns), rows
+
+
+def _join(left: tuple[tuple, set], right: tuple[tuple, set]) -> tuple[tuple, set]:
+    """Hash join of two tables on their shared columns."""
+    left_cols, left_rows = left
+    right_cols, right_rows = right
+    shared = [c for c in right_cols if c in left_cols]
+    left_positions = [left_cols.index(c) for c in shared]
+    right_positions = [right_cols.index(c) for c in shared]
+    extra_positions = [
+        i for i, c in enumerate(right_cols) if c not in left_cols
+    ]
+    out_cols = left_cols + tuple(right_cols[i] for i in extra_positions)
+    buckets: dict[tuple, list[tuple]] = {}
+    for row in right_rows:
+        key = tuple(row[i] for i in right_positions)
+        buckets.setdefault(key, []).append(tuple(row[i] for i in extra_positions))
+    out_rows: set[tuple] = set()
+    for row in left_rows:
+        key = tuple(row[i] for i in left_positions)
+        for extra in buckets.get(key, ()):
+            out_rows.add(row + extra)
+            if len(out_rows) > SEMIJOIN_ROW_CAP:
+                raise _SemijoinBlowup
+    return out_cols, out_rows
+
+
+def _project(table: tuple[tuple, set], keep: tuple) -> tuple[tuple, set]:
+    columns, rows = table
+    positions = [columns.index(c) for c in keep]
+    return keep, {tuple(row[i] for i in positions) for row in rows}
+
+
+def _semijoin_project(
+    source: Structure, index: PositionalIndex, boundary: tuple
+) -> frozenset | None:
+    """The projection onto ``boundary`` of the join of ``source``'s atoms
+    against the indexed data, or ``None`` when the atom hypergraph is
+    cyclic (the caller falls back to backtracking).
+
+    This is the Yannakakis-style evaluation specialized to small
+    projections: process the GYO join tree leaves-first, at each node
+    joining the already-reduced child tables into the node's base table
+    and projecting onto the boundary columns seen so far plus the
+    separator with the parent.  For an α-acyclic hypergraph this yields
+    exactly the set of boundary assignments that extend to a
+    homomorphism of ``source`` into the data.  With an empty boundary
+    the result is ``{()}`` or ``{}``: a satisfiability bit.
+
+    Variables of ``source`` occurring in no atom are unconstrained and
+    do not affect the projection (the data universe is non-empty on
+    every path that reaches this function), matching the backtracking
+    semantics.
+    """
+    scopes = sorted(
+        (
+            (name, t)
+            for name, tuples in source.relations.items()
+            for t in tuples
+        ),
+        key=repr,
+    )
+    if not scopes:
+        return None
+    hyperedges = [frozenset(t) for _, t in scopes]
+    covered = frozenset().union(*hyperedges)
+    if not frozenset(boundary) <= covered:
+        # A boundary variable outside every atom never reaches the join
+        # tables; leave such (degenerate) components to backtracking.
+        return None
+    tree = _gyo_join_tree(hyperedges)
+    if tree is None:
+        return None
+    boundary_set = frozenset(boundary)
+    tables = {
+        i: _base_table(index, name, t) for i, (name, t) in enumerate(scopes)
+    }
+    pending: dict[int, list[tuple[tuple, set]]] = {}
+    root = len(scopes) - 1
+    if tree:
+        removed_ids = {i for i, _ in tree}
+        root = next(i for i in range(len(scopes)) if i not in removed_ids)
+    for ear, parent in tree:
+        table = tables.pop(ear)
+        for child in pending.pop(ear, ()):
+            table = _join(table, child)
+        keep = tuple(
+            c
+            for c in table[0]
+            if c in boundary_set or c in hyperedges[parent]
+        )
+        reduced = _project(table, keep)
+        if not reduced[1]:
+            return frozenset()
+        pending.setdefault(parent, []).append(reduced)
+    table = tables.pop(root)
+    for child in pending.pop(root, ()):
+        table = _join(table, child)
+    return frozenset(_project(table, tuple(boundary))[1])

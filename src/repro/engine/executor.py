@@ -1,87 +1,124 @@
 """Executing compiled counting plans against data structures.
 
 :func:`execute` runs one :class:`~repro.engine.plan.CountingPlan` on one
-structure; it is the data-dependent half of a ``count_answers`` call and
-touches none of the query-side machinery (parsing, cores, tree
-decompositions, inclusion-exclusion) the plan already contains.
+structure through an :class:`~repro.engine.context.ExecutionContext`;
+it is the data-dependent half of a ``count_answers`` call and touches
+none of the query-side machinery (parsing, cores, tree decompositions,
+inclusion-exclusion) the plan already contains.
 
 :func:`count_many` is the batch API: every query is compiled once and
 executed against every structure.  When ``parallel`` is enabled the
 (plan, structure) grid is fanned out over a :mod:`multiprocessing` pool
-(plans and structures are plain picklable values); any failure to set up
-the pool falls back to the sequential path, so batch callers never need
-to care whether the host allows subprocesses.
+as structure-major blocks, so each worker builds **one** execution
+context per structure it touches instead of one index per grid cell;
+any failure to set up the pool falls back to the sequential path, so
+batch callers never need to care whether the host allows subprocesses.
+
+:func:`execute_sharded` is the scale-out path: it splits the plan along
+the query's connected components
+(:func:`~repro.engine.plan.component_pp_plans`), runs every component
+against every shard of a component-aligned
+:class:`~repro.structures.sharding.ShardedStructure` partition (one
+pool job per shard, all components of a shard sharing one context and
+its boundary-relation memo), and combines with
+:func:`~repro.structures.sharding.combine_shard_counts`: shard counts
+sum, query components multiply, sentence components OR.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.algorithms.brute_force import (
     count_answers_naive,
     count_ep_answers_by_disjuncts,
 )
-from repro.algorithms.fpt_counting import execute_pp_plan
+from repro.algorithms.fpt_counting import PPCountingPlan, execute_pp_plan
 from repro.core.ep_to_pp import sentence_holds
-from repro.engine.cache import StructureIndexCache
-from repro.engine.plan import CountingPlan, Query, compile_plan
+from repro.engine.cache import ExecutionContextCache
+from repro.engine.context import ExecutionContext
+from repro.engine.plan import (
+    CountingPlan,
+    Query,
+    compile_plan,
+    component_pp_plans,
+)
 from repro.exceptions import ReproError
-from repro.structures.homomorphism import has_homomorphism
-from repro.structures.indexes import PositionalIndex
+from repro.logic.pp import PPFormula
+from repro.structures.sharding import (
+    ShardedStructure,
+    combine_shard_counts,
+    shard_structure,
+)
 from repro.structures.structure import Structure
+
+#: Plan kinds whose execution consults an execution context (the
+#: baselines re-derive everything per call by design).
+_CONTEXT_KINDS = ("pp-fpt", "ep-plus")
+
+#: Pool-setup / pickling errors that demote parallel paths to sequential.
+_POOL_FALLBACK_ERRORS: tuple[type[BaseException], ...]
+
+
+def _pool_fallback_errors() -> tuple[type[BaseException], ...]:
+    import pickle
+
+    return (
+        ImportError,
+        OSError,
+        ValueError,
+        pickle.PicklingError,
+        AttributeError,
+        TypeError,
+    )
 
 
 def execute(
     plan: CountingPlan,
     structure: Structure,
-    target_index: PositionalIndex | None = None,
+    context: ExecutionContext | None = None,
 ) -> int:
-    """Count the answers of a compiled plan on one structure."""
+    """Count the answers of a compiled plan on one structure.
+
+    ``context`` carries the structure's positional index, sorted domain
+    and memoized ∃-component boundary relations; when ``None`` a
+    throwaway context is created for the plan kinds that use one, so the
+    memo is still shared across all inclusion-exclusion terms of a
+    single ``ep-plus`` execution.
+    """
     if plan.kind == "naive":
         return count_answers_naive(plan.query, structure)
     if plan.kind == "disjuncts":
         return count_ep_answers_by_disjuncts(plan.query, structure)
+    if context is None:
+        context = ExecutionContext(structure)
+    elif context.structure is not structure and context.structure != structure:
+        raise ReproError("execution context was built for a different structure")
     if plan.kind == "pp-fpt":
         assert plan.pp is not None
-        return execute_pp_plan(plan.pp, structure, target_index)
+        return execute_pp_plan(plan.pp, structure, context)
     if plan.kind == "ep-plus":
         # The forward direction of Theorem 3.1, on precompiled parts:
         # a true sentence disjunct short-circuits to |B| ** |V|; otherwise
         # the cancelled combination of the phi-_af terms is evaluated.
         for sentence in plan.sentence_disjuncts:
-            if _sentence_holds(sentence, structure, target_index):
+            if _sentence_holds(sentence, structure, context):
                 return len(structure.universe) ** plan.liberal_count
         total = 0
         for term in plan.terms:
             total += term.coefficient * execute_pp_plan(
-                term.plan, structure, target_index
+                term.plan, structure, context
             )
         return total
     raise ReproError(f"unknown plan kind {plan.kind!r}")
 
 
-def _sentence_holds(sentence, structure: Structure, target_index) -> bool:
-    if target_index is None:
+def _sentence_holds(sentence, structure: Structure, context) -> bool:
+    if context is None:
         return sentence_holds(sentence, structure)
-    if structure.is_empty():
-        return not sentence.variables
-    return has_homomorphism(sentence.structure, structure, target_index=target_index)
-
-
-# ----------------------------------------------------------------------
-# Batch execution
-# ----------------------------------------------------------------------
-def _index_for(plan: CountingPlan, structure: Structure) -> PositionalIndex | None:
-    """An index for the plan kinds that use one; baselines skip the build."""
-    if plan.kind in ("pp-fpt", "ep-plus"):
-        return PositionalIndex(structure)
-    return None
-
-
-def _count_cell(job: tuple[CountingPlan, Structure]) -> int:
-    plan, structure = job
-    return execute(plan, structure, _index_for(plan, structure))
+    return context.sentence_holds(sentence)
 
 
 def default_process_count() -> int:
@@ -89,13 +126,28 @@ def default_process_count() -> int:
     return max(1, (os.cpu_count() or 1))
 
 
+def _pool(processes: int):
+    import multiprocessing
+
+    # fork shares the already-imported library with the workers; fall
+    # back to the default start method where fork is unavailable.
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        mp_context = multiprocessing.get_context()
+    return mp_context.Pool(processes=processes)
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
 def count_many(
     queries: Sequence[Query | CountingPlan],
     structures: Sequence[Structure],
     strategy: str = "auto",
     parallel: bool | None = None,
     processes: int | None = None,
-    index_cache: StructureIndexCache | None = None,
+    context_cache: ExecutionContextCache | None = None,
 ) -> list[list[int]]:
     """Count every query on every structure: ``result[i][j] = |q_i(B_j)|``.
 
@@ -104,77 +156,277 @@ def count_many(
     (the default) picks the parallel path when the machine has more than
     one CPU and the grid is large enough to amortize pool start-up;
     ``parallel=True`` forces it, ``parallel=False`` forces the
-    sequential path.  The sequential path shares one positional index
-    per structure across all queries.
+    sequential path.  Both paths share one execution context per
+    distinct structure (per worker, on the parallel path): the jobs
+    shipped to the pool are structure-major blocks of plans, not
+    individual grid cells, so a structure's positional index is built
+    once per block instead of once per cell.
     """
     plans = [
         q if isinstance(q, CountingPlan) else compile_plan(q, strategy)
         for q in queries
     ]
-    jobs = [(plan, structure) for plan in plans for structure in structures]
+    cells = len(plans) * len(structures)
     if parallel is None:
-        parallel = default_process_count() > 1 and len(jobs) >= 8
+        parallel = default_process_count() > 1 and cells >= 8
 
-    if parallel and len(jobs) > 1:
-        import pickle
-
+    if parallel and cells > 1:
         try:
-            return _count_many_parallel(plans, structures, jobs, processes)
-        except (
-            ImportError,
-            OSError,
-            ValueError,
-            pickle.PicklingError,
-            AttributeError,
-            TypeError,
-        ):
+            return _count_many_parallel(plans, structures, processes)
+        except _pool_fallback_errors():
             # No subprocess support (restricted hosts) or unpicklable
             # plans/structures -- fall through to the sequential path.
             # Genuine counting errors (SignatureError, ReproError, ...)
             # propagate from either path.
             pass
-    return _count_many_sequential(plans, structures, index_cache)
+    return _count_many_sequential(plans, structures, context_cache)
 
 
 def _count_many_sequential(
     plans: Sequence[CountingPlan],
     structures: Sequence[Structure],
-    index_cache: StructureIndexCache | None,
+    context_cache: ExecutionContextCache | None,
 ) -> list[list[int]]:
-    if index_cache is None:
-        index_cache = StructureIndexCache(capacity=max(1, len(structures)))
-    any_indexed = any(plan.kind in ("pp-fpt", "ep-plus") for plan in plans)
+    if context_cache is None:
+        context_cache = ExecutionContextCache(capacity=max(1, len(structures)))
+    any_contextual = any(plan.kind in _CONTEXT_KINDS for plan in plans)
     out: list[list[int]] = [[0] * len(structures) for _ in plans]
-    # Iterate structure-major so each positional index is built once and
-    # stays hot while every plan runs against it.
+    # Iterate structure-major so each context (index, boundary memo) is
+    # built once and stays hot while every plan runs against it.
     for j, structure in enumerate(structures):
-        index = index_cache.get(structure) if any_indexed else None
+        context = context_cache.get(structure) if any_contextual else None
         for i, plan in enumerate(plans):
-            out[i][j] = execute(plan, structure, index)
+            out[i][j] = execute(plan, structure, context)
     return out
+
+
+def _count_block(job: tuple[tuple[CountingPlan, ...], Structure]) -> list[int]:
+    """Worker: run a block of plans against one structure, sharing one
+    context (hence one positional index) across the whole block."""
+    plans, structure = job
+    context = (
+        ExecutionContext(structure)
+        if any(plan.kind in _CONTEXT_KINDS for plan in plans)
+        else None
+    )
+    return [execute(plan, structure, context) for plan in plans]
 
 
 def _count_many_parallel(
     plans: Sequence[CountingPlan],
     structures: Sequence[Structure],
-    jobs: list[tuple[CountingPlan, Structure]],
     processes: int | None,
 ) -> list[list[int]]:
-    import multiprocessing
+    workers = processes or default_process_count()
+    workers = max(1, min(workers, len(plans) * len(structures)))
+    # Structure-major blocks: when there are fewer structures than
+    # workers, each structure's plan list is split into several blocks
+    # so the pool still saturates; otherwise one block per structure
+    # keeps index builds at one per (structure, worker) touch.
+    blocks_per_structure = max(
+        1, min(len(plans), -(-workers * 2 // max(1, len(structures))))
+    )
+    chunk = -(-len(plans) // blocks_per_structure)
+    jobs: list[tuple[tuple[CountingPlan, ...], Structure]] = []
+    meta: list[tuple[int, int]] = []  # (structure index, first plan index)
+    for j, structure in enumerate(structures):
+        for start in range(0, len(plans), chunk):
+            jobs.append((tuple(plans[start : start + chunk]), structure))
+            meta.append((j, start))
+    with _pool(min(workers, len(jobs))) as pool:
+        block_results = pool.map(_count_block, jobs)
+    out: list[list[int]] = [[0] * len(structures) for _ in plans]
+    for (j, start), counts in zip(meta, block_results):
+        for offset, value in enumerate(counts):
+            out[start + offset][j] = value
+    return out
 
+
+# ----------------------------------------------------------------------
+# Sharded execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardUnit:
+    """One per-shard evaluation unit of a sharded plan.
+
+    ``kind == "count"``: a compiled liberal query component, evaluated
+    to an int per shard (the per-shard counts sum).  ``kind == "sat"``:
+    a connected pp-sentence component, evaluated to a bool per shard
+    (the per-shard bits OR).
+    """
+
+    kind: str
+    plan: PPCountingPlan | None = None
+    sentence: PPFormula | None = None
+
+
+@dataclass(frozen=True)
+class _ShardedProgram:
+    """A plan lowered to shard units plus the recombination recipe."""
+
+    units: tuple[_ShardUnit, ...]
+    # Per pp-part: (coefficient, count-unit indices, sat-unit indices).
+    terms: tuple[tuple[int, tuple[int, ...], tuple[int, ...]], ...]
+    # Per ep sentence disjunct: the sat-unit indices of its components.
+    sentence_disjuncts: tuple[tuple[int, ...], ...]
+    liberal_count: int
+
+
+def _lower_plan(plan: CountingPlan) -> _ShardedProgram:
+    """Split a compiled plan into deduplicated shard units.
+
+    ∃-free recombination data only; the expensive part (component
+    compilation) is memoized by :func:`component_pp_plans`, and units
+    shared between inclusion-exclusion terms (the common case: terms of
+    an ``ep-plus`` plan are conjunctions of the same disjuncts) are
+    evaluated once per shard.
+    """
+    units: list[_ShardUnit] = []
+    unit_index: dict = {}
+
+    def count_unit(pp: PPCountingPlan) -> int:
+        key = ("count", pp.base)
+        if key not in unit_index:
+            unit_index[key] = len(units)
+            units.append(_ShardUnit(kind="count", plan=pp))
+        return unit_index[key]
+
+    def sat_unit(sentence: PPFormula) -> int:
+        key = ("sat", sentence.structure)
+        if key not in unit_index:
+            unit_index[key] = len(units)
+            units.append(_ShardUnit(kind="sat", sentence=sentence))
+        return unit_index[key]
+
+    def pp_term(pp: PPCountingPlan) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        liberal_plans, sentences = component_pp_plans(pp)
+        return (
+            tuple(count_unit(p) for p in liberal_plans),
+            tuple(sat_unit(s) for s in sentences),
+        )
+
+    if plan.kind == "pp-fpt":
+        assert plan.pp is not None
+        counts, sats = pp_term(plan.pp)
+        return _ShardedProgram(
+            units=tuple(units),
+            terms=((1, counts, sats),),
+            sentence_disjuncts=(),
+            liberal_count=plan.liberal_count,
+        )
+    assert plan.kind == "ep-plus"
+    disjunct_units = []
+    for sentence in plan.sentence_disjuncts:
+        components = [
+            PPFormula(piece, ()) for piece in _sentence_pieces(sentence)
+        ]
+        disjunct_units.append(tuple(sat_unit(c) for c in components))
+    terms = []
+    for term in plan.terms:
+        counts, sats = pp_term(term.plan)
+        terms.append((term.coefficient, counts, sats))
+    return _ShardedProgram(
+        units=tuple(units),
+        terms=tuple(terms),
+        sentence_disjuncts=tuple(disjunct_units),
+        liberal_count=plan.liberal_count,
+    )
+
+
+def _sentence_pieces(sentence: PPFormula) -> list[Structure]:
+    """The structures of a pp-sentence's connected components."""
+    from repro.structures.graphs import component_substructures
+
+    return [sub for sub, _ in component_substructures(sentence.structure, ())]
+
+
+def _run_shard(job: tuple[tuple[_ShardUnit, ...], Structure]) -> list:
+    """Worker: evaluate every unit on one shard through one context."""
+    units, shard = job
+    context = ExecutionContext(shard)
+    out: list = []
+    for unit in units:
+        if unit.kind == "count":
+            assert unit.plan is not None
+            out.append(execute_pp_plan(unit.plan, shard, context))
+        else:
+            assert unit.sentence is not None
+            out.append(context.sentence_holds(unit.sentence))
+    return out
+
+
+def _combine_term(
+    term: tuple[int, tuple[int, ...], tuple[int, ...]],
+    rows: dict[int, list],
+) -> int:
+    coefficient, count_units, sat_units = term
+    return coefficient * combine_shard_counts(
+        [rows[i] for i in count_units], [rows[i] for i in sat_units]
+    )
+
+
+def execute_sharded(
+    plan: CountingPlan,
+    sharded: ShardedStructure | Structure,
+    shard_count: int | None = None,
+    parallel: bool | None = None,
+    processes: int | None = None,
+) -> int:
+    """Count the answers of a compiled plan via sharded execution.
+
+    ``sharded`` is either a prebuilt
+    :class:`~repro.structures.sharding.ShardedStructure` or a plain
+    structure, which is then partitioned into ``shard_count`` shards
+    (default: the machine's process count).  Returns exactly the count
+    :func:`execute` returns on the whole structure; the work is one job
+    per non-empty shard, fanned over the multiprocessing pool when
+    ``parallel`` allows, with all units of a shard sharing one execution
+    context (index + boundary-relation memo).
+
+    The baseline plan kinds (``naive``, ``disjuncts``) gain nothing from
+    sharding and run whole-structure.
+    """
+    if isinstance(sharded, Structure):
+        sharded = shard_structure(
+            sharded, shard_count or default_process_count()
+        )
+    if plan.kind not in _CONTEXT_KINDS:
+        return execute(plan, sharded.structure)
+
+    program = _lower_plan(plan)
+    shards = sharded.non_empty_shards()
+    values_by_shard: list[list]
+    if parallel is None:
+        parallel = default_process_count() > 1 and len(shards) > 1
+    jobs = [(program.units, shard) for shard in shards]
+    if parallel and len(jobs) > 1 and program.units:
+        try:
+            values_by_shard = _run_shards_parallel(jobs, processes)
+        except _pool_fallback_errors():
+            values_by_shard = [_run_shard(job) for job in jobs]
+    else:
+        values_by_shard = [_run_shard(job) for job in jobs]
+
+    # rows[i] = the per-shard results of unit i (empty shards dropped:
+    # they contribute count 0 / sat False by construction).
+    rows: dict[int, list] = {
+        i: [values[i] for values in values_by_shard]
+        for i in range(len(program.units))
+    }
+    for disjunct in program.sentence_disjuncts:
+        # A sentence holds on the whole structure iff each of its
+        # connected components maps into some shard (components are
+        # independent, so the shards may differ).
+        if all(any(rows[i]) for i in disjunct):
+            return sharded.universe_size ** program.liberal_count
+    return sum(_combine_term(term, rows) for term in program.terms)
+
+
+def _run_shards_parallel(
+    jobs: list[tuple[tuple[_ShardUnit, ...], Structure]],
+    processes: int | None,
+) -> list[list]:
     workers = processes or default_process_count()
     workers = max(1, min(workers, len(jobs)))
-    # fork shares the already-imported library with the workers; fall
-    # back to the default start method where fork is unavailable.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX hosts
-        context = multiprocessing.get_context()
-    chunksize = max(1, len(jobs) // (workers * 4))
-    with context.Pool(processes=workers) as pool:
-        flat = pool.map(_count_cell, jobs, chunksize=chunksize)
-    out: list[list[int]] = []
-    columns = len(structures)
-    for i in range(len(plans)):
-        out.append(list(flat[i * columns : (i + 1) * columns]))
-    return out
+    with _pool(workers) as pool:
+        return pool.map(_run_shard, jobs)

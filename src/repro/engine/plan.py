@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Union
 
 from repro.algorithms.fpt_counting import PPCountingPlan, compile_pp_plan
@@ -117,6 +118,39 @@ class CountingPlan:
         else:
             detail = "baseline"
         return f"CountingPlan(kind={self.kind}, {detail})"
+
+
+@lru_cache(maxsize=256)
+def _component_plans_for(base: PPFormula) -> tuple[
+    tuple[PPCountingPlan, ...], tuple[PPFormula, ...]
+]:
+    liberal_plans: list[PPCountingPlan] = []
+    sentences: list[PPFormula] = []
+    for component in base.components():
+        if component.is_liberal():
+            # The base is already cored; recomputing cores per component
+            # would only repeat work, so compile the piece as-is.
+            liberal_plans.append(compile_pp_plan(component, use_core=False))
+        else:
+            sentences.append(component)
+    return tuple(liberal_plans), tuple(sentences)
+
+
+def component_pp_plans(
+    plan: PPCountingPlan,
+) -> tuple[tuple[PPCountingPlan, ...], tuple[PPFormula, ...]]:
+    """Split a compiled pp-plan along the query's connected components.
+
+    Returns ``(liberal_plans, sentence_components)``: one compiled
+    sub-plan per connected component of the plan's base formula that
+    contains a liberal variable, plus the pp-sentence components.  Answer
+    counts multiply over query components (Section 2.1), which is what
+    lets the sharded executor sum each connected piece over
+    disjoint-universe shards independently.  Memoized on the base
+    formula, so the split is compiled once per plan however many shards
+    or structures it runs against.
+    """
+    return _component_plans_for(plan.base)
 
 
 def compile_plan(

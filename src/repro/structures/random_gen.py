@@ -62,6 +62,40 @@ def random_graph(
     return Structure(signature, range(size), {relation: edges})
 
 
+def random_cluster_graph(
+    clusters: int,
+    cluster_size: int,
+    edge_probability: float,
+    seed: int | random.Random | None = None,
+    relation: str = "E",
+) -> Structure:
+    """A disjoint union of dense Erdos-Renyi clusters.
+
+    The universe is ``0 .. clusters*cluster_size - 1``; edges only ever
+    connect vertices of the same cluster, so the Gaifman graph has (up
+    to) ``clusters`` connected components and the structure shards
+    cleanly (:mod:`repro.structures.sharding`).  This is the
+    many-tenants data shape of the serving scenario: expected tuple
+    count is ``clusters * cluster_size * (cluster_size - 1) *
+    edge_probability``, so e.g. ``(60, 16, 0.7)`` yields a ``10^4``-tuple
+    structure.
+    """
+    if clusters < 0 or cluster_size < 0:
+        raise WorkloadError("clusters and cluster_size must be non-negative")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise WorkloadError("edge_probability must be in [0, 1]")
+    rng = _rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for cluster in range(clusters):
+        offset = cluster * cluster_size
+        for source in range(offset, offset + cluster_size):
+            for target in range(offset, offset + cluster_size):
+                if source != target and rng.random() < edge_probability:
+                    edges.add((source, target))
+    signature = Signature.graph(relation)
+    return Structure(signature, range(clusters * cluster_size), {relation: edges})
+
+
 def random_structure(
     signature: Signature,
     size: int,

@@ -18,6 +18,7 @@ from repro.workloads.scenarios import (
     all_scenarios,
     movie_database,
     social_network,
+    tenant_network,
     triple_store,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "all_scenarios",
     "movie_database",
     "social_network",
+    "tenant_network",
     "triple_store",
 ]

@@ -171,10 +171,55 @@ def movie_database(
     return Scenario("movie_database", db, queries)
 
 
+def tenant_network(
+    tenants: int = 12,
+    people_per_tenant: int = 8,
+    follow_probability: float = 0.25,
+    seed: int | random.Random | None = 3,
+) -> Scenario:
+    """A multi-tenant follows-graph: many small isolated social networks.
+
+    Relations: ``Follows(person, person)``, ``Member(person, group)``,
+    with every edge staying inside one tenant.  The Gaifman graph of the
+    data therefore has (up to) ``tenants`` connected components, which
+    makes this the canonical workload for the sharded execution path:
+    component-aligned shards distribute whole tenants, and per-tenant
+    query counts sum exactly.
+    """
+    rng = _rng(seed)
+    db = Database()
+    for tenant in range(tenants):
+        names = [f"t{tenant}_p{i}" for i in range(people_per_tenant)]
+        groups = [f"t{tenant}_g{i}" for i in range(max(1, people_per_tenant // 4))]
+        for source in names:
+            for target in names:
+                if source != target and rng.random() < follow_probability:
+                    db.add_row("Follows", source, target)
+        for person in names:
+            db.add_row("Member", person, rng.choice(groups))
+    queries = {
+        "followers_of_followers": parse_ucq(
+            "FoF(x, y) :- Follows(x, z), Follows(z, y)."
+        ),
+        "mutual_follow": parse_ucq("Mutual(x, y) :- Follows(x, y), Follows(y, x)."),
+        "reachable_in_two_or_one": parse_ucq(
+            """
+            Reach(x, y) :- Follows(x, y).
+            Reach(x, y) :- Follows(x, z), Follows(z, y).
+            """
+        ),
+        "same_group_follow": parse_ucq(
+            "SameGroup(x, y) :- Follows(x, y), Member(x, g), Member(y, g)."
+        ),
+    }
+    return Scenario("tenant_network", db, queries)
+
+
 def all_scenarios(seed: int = 0) -> list[Scenario]:
     """All built-in scenarios, with seeds offset from ``seed``."""
     return [
         social_network(seed=seed),
         triple_store(seed=seed + 1),
         movie_database(seed=seed + 2),
+        tenant_network(seed=seed + 3),
     ]

@@ -1,0 +1,197 @@
+"""ExecutionContext behavior: semijoin elimination, memoization, reuse.
+
+The semijoin evaluator must agree exactly with the backtracking search
+on every ∃-component; the boundary-relation memo must be shared across
+the inclusion-exclusion terms of an ``ep-plus`` plan; and the batch
+paths must build at most one positional index per distinct structure.
+"""
+
+import pytest
+
+from repro.algorithms.decomposition import TreeDecomposition
+from repro.algorithms.fpt_counting import (
+    compile_pp_plan,
+    count_pp_answers_fpt,
+    exists_components,
+)
+from repro.core.counting import count_answers
+from repro.engine import Engine, compile_plan, count_many, execute
+from repro.engine.context import ExecutionContext
+from repro.exceptions import ReproError
+from repro.structures import indexes as indexes_module
+from repro.structures.random_gen import random_cluster_graph, random_graph
+from repro.workloads.generators import (
+    hidden_clique_query,
+    path_query,
+    random_conjunctive_query,
+    star_query,
+    union_of_paths_query,
+)
+
+
+# ----------------------------------------------------------------------
+# Semijoin vs backtracking
+# ----------------------------------------------------------------------
+def component_cases():
+    queries = [
+        path_query(3, quantify_interior=True),
+        path_query(5, quantify_interior=True),
+        star_query(3, quantify_leaves=True),
+        hidden_clique_query(3),  # cyclic interior: semijoin must decline
+    ]
+    for seed in range(6):
+        queries.append(random_conjunctive_query(5, 4, liberal_count=2, seed=seed))
+    for q, query in enumerate(queries):
+        for component in exists_components(query):
+            yield pytest.param(component, id=f"q{q}:b{len(component.boundary)}")
+
+
+@pytest.mark.parametrize("component", component_cases())
+@pytest.mark.parametrize("seed", [0, 3])
+def test_semijoin_matches_backtracking_boundary_relations(component, seed):
+    structure = random_graph(7, 0.35, seed=seed)
+    with_semijoin = ExecutionContext(structure, semijoin=True)
+    without = ExecutionContext(structure, semijoin=False)
+    assert with_semijoin.boundary_relation(component) == without.boundary_relation(
+        component
+    )
+
+
+def test_semijoin_is_actually_used_on_acyclic_components():
+    structure = random_graph(8, 0.3, seed=2)
+    context = ExecutionContext(structure)
+    (component,) = exists_components(path_query(3, quantify_interior=True))
+    context.boundary_relation(component)
+    assert context.stats.semijoin_eliminations == 1
+    assert context.stats.backtracking_eliminations == 0
+
+
+def test_cyclic_interior_falls_back_to_backtracking():
+    structure = random_graph(8, 0.4, seed=2)
+    context = ExecutionContext(structure)
+    (component,) = exists_components(hidden_clique_query(3))
+    context.boundary_relation(component)
+    assert context.stats.backtracking_eliminations == 1
+
+
+def test_wide_boundary_falls_back_to_backtracking():
+    structure = random_graph(6, 0.4, seed=4)
+    context = ExecutionContext(structure, semijoin_max_boundary=0)
+    (component,) = exists_components(path_query(2, quantify_interior=True))
+    context.boundary_relation(component)
+    assert context.stats.semijoin_eliminations == 0
+    assert context.stats.backtracking_eliminations == 1
+
+
+# ----------------------------------------------------------------------
+# Memoization
+# ----------------------------------------------------------------------
+def test_boundary_memo_is_shared_across_ep_plus_terms():
+    # phi+ of a union of paths has terms phi1, phi2, phi1&phi2; the
+    # conjunction's ∃-components are exactly phi1's and phi2's, so one
+    # execute sees 2 misses and 2 memo hits.
+    query = union_of_paths_query([2, 3])
+    plan = compile_plan(query)
+    assert plan.kind == "ep-plus"
+    assert len(plan.terms) == 3
+    structure = random_graph(7, 0.3, seed=5)
+    context = ExecutionContext(structure)
+    execute(plan, structure, context)
+    assert context.stats.boundary_misses == 2
+    assert context.stats.boundary_hits == 2
+
+
+def test_memo_disabled_recomputes_per_term():
+    query = union_of_paths_query([2, 3])
+    plan = compile_plan(query)
+    structure = random_graph(7, 0.3, seed=5)
+    memoized = ExecutionContext(structure, memoize=True)
+    unmemoized = ExecutionContext(structure, memoize=False)
+    assert execute(plan, structure, memoized) == execute(plan, structure, unmemoized)
+    assert unmemoized.stats.boundary_hits == 0
+    assert unmemoized.stats.boundary_misses == 4
+
+
+def test_repeated_execution_hits_the_memo_via_engine():
+    engine = Engine()
+    structure = random_graph(7, 0.3, seed=6)
+    query = "exists z. (E(x, z) & E(z, y))"
+    engine.count(query, structure)
+    first_misses = engine.stats().boundary_memo_misses
+    engine.count(query, structure)
+    stats = engine.stats()
+    assert stats.boundary_memo_misses == first_misses
+    assert stats.boundary_memo_hits >= 1
+
+
+# ----------------------------------------------------------------------
+# Index-build regression (one context per distinct structure)
+# ----------------------------------------------------------------------
+def test_count_many_builds_at_most_one_index_per_distinct_structure(monkeypatch):
+    builds = []
+    original = indexes_module.PositionalIndex.__init__
+
+    def counting_init(self, structure):
+        builds.append(structure)
+        original(self, structure)
+
+    monkeypatch.setattr(indexes_module.PositionalIndex, "__init__", counting_init)
+    first = random_graph(6, 0.3, seed=0)
+    second = random_graph(6, 0.3, seed=1)
+    structures = [first, second, first, second, first]
+    # Precompile so the (query-side) homomorphism searches of core
+    # computation don't contribute index builds of formula structures.
+    plans = [
+        compile_plan(q)
+        for q in (
+            "exists z. (E(x, z) & E(z, y))",
+            "exists z w. (E(x, z) & E(z, w) & E(w, y))",
+            "E(x, y)",
+        )
+    ]
+    builds.clear()
+    grid = count_many(plans, structures, parallel=False)
+    data_builds = [s for s in builds if s in (first, second)]
+    assert builds == data_builds  # nothing but the data structures
+    assert len(data_builds) == 2
+    engine = Engine()
+    queries = [
+        "exists z. (E(x, z) & E(z, y))",
+        "exists z w. (E(x, z) & E(z, w) & E(w, y))",
+        "E(x, y)",
+    ]
+    assert engine.count_many(queries, structures, parallel=False) == grid
+    # The engine's own counter tracks context-built (data) indexes only.
+    assert engine.stats().index_builds == 2
+
+
+# ----------------------------------------------------------------------
+# Context-aware count_answers and the decomposition-override fix
+# ----------------------------------------------------------------------
+def test_count_answers_accepts_an_explicit_context():
+    structure = random_graph(6, 0.35, seed=8)
+    context = ExecutionContext(structure)
+    query = "exists z. (E(x, z) & E(z, y))"
+    through_context = count_answers(query, structure, context=context)
+    assert through_context == count_answers(query, structure)
+    assert context.stats.boundary_misses == 1
+    # Re-counting through the same context hits its memo.
+    count_answers(query, structure, context=context)
+    assert context.stats.boundary_hits >= 1
+
+
+def test_count_answers_rejects_a_mismatched_context():
+    context = ExecutionContext(random_graph(5, 0.3, seed=0))
+    with pytest.raises(ReproError):
+        count_answers("E(x, y)", random_graph(5, 0.3, seed=1), context=context)
+
+
+def test_count_pp_answers_fpt_decomposition_override_uses_replace():
+    formula = path_query(3)  # all-liberal path: contract graph is the path
+    structure = random_graph(5, 0.4, seed=3)
+    expected = count_answers(formula, structure, strategy="naive", engine=None)
+    # A valid single-bag decomposition of different width than the
+    # compiled plan's: the override (and its width) must be honored.
+    override = TreeDecomposition({0: list(formula.liberal)})
+    assert override.width != compile_pp_plan(formula).width
+    assert count_pp_answers_fpt(formula, structure, decomposition=override) == expected
