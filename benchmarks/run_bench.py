@@ -10,17 +10,24 @@ random UCQs) through two paths:
 * **warm** -- one compile, then repeated execution of the cached plan
   (the engine's batch path).
 
-On top of that, two data-side comparisons of the context/shard layer:
+On top of that, three data-side comparisons of the context/shard/pool
+layers:
 
 * **sharded counting** -- a 10^4+-tuple clustered structure counted
   whole in one process vs. sharded over all cores;
 * **memoized semijoin ∃-elimination** -- a repeated-term ``ep-plus``
   plan executed with the context's semijoin evaluator + boundary memo
-  vs. the per-term backtracking the executor used before contexts.
+  vs. the per-term backtracking the executor used before contexts;
+* **warm workers** -- repeated sharded queries on the 10^4-tuple
+  structure through a throwaway pool per call (fork + context rebuild
+  every time) vs. the engine's long-lived resident pool (fork once,
+  worker-resident contexts keyed by structure fingerprint).
 
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
-a pre-``runs`` report found in the file is migrated to its own key.
+a pre-``runs`` report found in the file is migrated to its own key, and
+a run whose key already exists in the store **fails** instead of
+clobbering it (pass ``--force`` to overwrite deliberately).
 
 Usage::
 
@@ -41,6 +48,7 @@ from repro import Engine, __version__
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import execute, execute_sharded
 from repro.engine.plan import compile_plan
+from repro.engine.pool import WorkerPool
 from repro.structures.random_gen import random_cluster_graph, random_graph
 from repro.structures.sharding import shard_structure
 from repro.workloads.generators import (
@@ -248,12 +256,72 @@ def bench_semijoin_memo(quick: bool) -> dict:
     }
 
 
-def append_report(output: Path, key: str, report: dict) -> dict:
+def bench_warm_workers(quick: bool) -> dict:
+    """Repeated sharded queries: throwaway pools vs. the resident pool.
+
+    The serving pattern: the same query arrives again and again for the
+    same 10^4-tuple clustered structure.  The *cold* path is what every
+    call paid before PR 3 -- a fresh pool (fork) per call, every worker
+    rebuilding each shard's execution context (index + boundary memos)
+    from scratch.  The *warm* path is the engine's long-lived
+    :class:`~repro.engine.pool.WorkerPool`: forked once, with the
+    contexts resident in the workers keyed by structure fingerprint, so
+    repeat calls ship fingerprint-matched jobs onto hot state.
+    """
+    clusters, size, p = (8, 10, 0.3) if quick else (60, 16, 0.7)
+    repeats = 2 if quick else 5
+    structure = random_cluster_graph(clusters, size, p, seed=7)
+    plan = compile_plan(path_query(2, quantify_interior=True))
+    sharded = shard_structure(structure, clusters)
+
+    def cold_pool_calls() -> int:
+        total = 0
+        for _ in range(repeats):
+            total += execute_sharded(plan, sharded, parallel=True)
+        return total
+
+    pool = WorkerPool(context_capacity=max(8, clusters))
+    try:
+        warmup = execute_sharded(plan, sharded, parallel=True, pool=pool)
+
+        def resident_pool_calls() -> int:
+            total = 0
+            for _ in range(repeats):
+                total += execute_sharded(plan, sharded, parallel=True, pool=pool)
+            return total
+
+        cold_seconds, cold_total = _time(cold_pool_calls)
+        warm_seconds, warm_total = _time(resident_pool_calls)
+        assert cold_total == warm_total == warmup * repeats
+        hits, misses = pool.worker_context_hits, pool.worker_context_misses
+    finally:
+        pool.close()
+    return {
+        "query": "path2_pairs",
+        "clusters": clusters,
+        "tuples": structure.total_tuples,
+        "universe": len(structure.universe),
+        "repeats": repeats,
+        "count": warmup,
+        "cold_pool_seconds": cold_seconds,
+        "cold_pool_seconds_per_call": cold_seconds / repeats,
+        "resident_pool_seconds": warm_seconds,
+        "resident_pool_seconds_per_call": warm_seconds / repeats,
+        "worker_context_hits": hits,
+        "worker_context_misses": misses,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+    }
+
+
+def append_report(
+    output: Path, key: str, report: dict, force: bool = False
+) -> dict:
     """Append ``report`` under ``key`` in the keyed benchmark store.
 
     Earlier entries are preserved; a legacy flat report (pre-``runs``
     format) already in the file is migrated under its own key instead of
-    being clobbered.
+    being clobbered, and re-running an already-recorded key raises
+    unless ``force`` says the overwrite is deliberate.
     """
     store: dict = {"benchmark": "engine", "runs": {}}
     if output.exists():
@@ -277,6 +345,12 @@ def append_report(output: Path, key: str, report: dict) -> dict:
                 f"{'quick' if existing.get('quick') else 'full'}:legacy"
             )
             store["runs"][legacy_key] = existing
+    if key in store["runs"] and not force:
+        raise SystemExit(
+            f"error: run key {key!r} already exists in {output}; "
+            "a re-run would clobber the recorded baseline "
+            "(pass --force to overwrite deliberately)"
+        )
     store["runs"][key] = report
     return store
 
@@ -291,11 +365,32 @@ def main(argv: list[str] | None = None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an already-recorded run key instead of failing",
+    )
     args = parser.parse_args(argv)
 
     output = Path(args.output)
     if not output.parent.is_dir():
         parser.error(f"output directory {output.parent} does not exist")
+
+    # Fail the clobber check *before* spending minutes benchmarking;
+    # append_report re-checks at write time regardless.
+    run_key = f"{__version__}:{'quick' if args.quick else 'full'}"
+    if output.exists() and not args.force:
+        try:
+            existing = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if isinstance(existing, dict) and run_key in (
+            existing.get("runs") or {}
+        ):
+            parser.error(
+                f"run key {run_key!r} already exists in {output}; "
+                "pass --force to overwrite it"
+            )
 
     started = time.perf_counter()
     report = {
@@ -308,10 +403,12 @@ def main(argv: list[str] | None = None) -> int:
         "repeated_query": bench_repeated_query(args.quick),
         "sharded_counting": bench_sharded_counting(args.quick),
         "semijoin_memo": bench_semijoin_memo(args.quick),
+        "warm_workers": bench_warm_workers(args.quick),
     }
     repeated = report["repeated_query"]
     sharded = report["sharded_counting"]
     semijoin = report["semijoin_memo"]
+    warm_workers = report["warm_workers"]
     report["summary"] = {
         "total_seconds": time.perf_counter() - started,
         "repeated_query_speedup": repeated["speedup"],
@@ -320,12 +417,12 @@ def main(argv: list[str] | None = None) -> int:
         )[len(report["scenarios"]) // 2],
         "sharded_speedup": sharded["sharded_speedup"],
         "semijoin_memo_speedup": semijoin["speedup"],
+        "warm_workers_speedup": warm_workers["speedup"],
     }
 
-    key = f"{__version__}:{'quick' if args.quick else 'full'}"
-    store = append_report(output, key, report)
+    store = append_report(output, run_key, report, force=args.force)
     output.write_text(json.dumps(store, indent=2) + "\n")
-    print(f"appended run {key!r} to {output} ({len(store['runs'])} runs kept)")
+    print(f"appended run {run_key!r} to {output} ({len(store['runs'])} runs kept)")
     print(
         f"repeated-query: cold {repeated['cold_seconds']:.4f}s, "
         f"warm {repeated['warm_seconds']:.4f}s, "
@@ -342,6 +439,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{semijoin['semijoin_memo_seconds']:.4f}s vs "
         f"{semijoin['backtracking_seconds']:.4f}s, "
         f"speedup {semijoin['speedup']:.1f}x"
+    )
+    print(
+        f"warm workers ({warm_workers['tuples']} tuples, "
+        f"{warm_workers['repeats']} repeat calls): "
+        f"cold pool {warm_workers['cold_pool_seconds']:.4f}s, "
+        f"resident pool {warm_workers['resident_pool_seconds']:.4f}s, "
+        f"speedup {warm_workers['speedup']:.1f}x "
+        f"({warm_workers['worker_context_hits']} worker context hits)"
     )
     return 0
 

@@ -18,6 +18,11 @@ once, cached, and run many times over many structures:
 * :mod:`repro.engine.executor` -- :func:`execute`, the batch
   :func:`count_many` with a multiprocessing path, and the sharded
   :func:`execute_sharded` scale-out path;
+* :mod:`repro.engine.pool` -- :class:`WorkerPool`, the long-lived
+  process pool whose workers keep execution contexts resident across
+  calls, keyed by structure fingerprint;
+* :mod:`repro.engine.persist` -- :class:`PlanStore`, the versioned
+  on-disk plan store that lets fresh processes start warm;
 * :mod:`repro.engine.api` -- the :class:`Engine` facade with hit-rate
   and timing statistics, and the process-wide default engine behind
   :func:`repro.core.counting.count_answers`.
@@ -39,6 +44,8 @@ from repro.engine.cache import (
 )
 from repro.engine.context import ContextStats, ExecutionContext
 from repro.engine.executor import count_many, execute, execute_sharded
+from repro.engine.persist import PlanStore
+from repro.engine.pool import WorkerPool, WorkerTaskError, default_process_count
 from repro.engine.plan import (
     PLAN_KINDS,
     CountingPlan,
@@ -63,6 +70,10 @@ __all__ = [
     "count_many",
     "execute",
     "execute_sharded",
+    "PlanStore",
+    "WorkerPool",
+    "WorkerTaskError",
+    "default_process_count",
     "PLAN_KINDS",
     "CountingPlan",
     "WeightedPPPlan",

@@ -45,7 +45,10 @@ from repro.engine.executor import (
     execute,
     execute_sharded,
 )
+from repro.engine.persist import PlanStore
 from repro.engine.plan import CountingPlan, Query
+from repro.engine.pool import DEFAULT_WORKER_CONTEXT_CAPACITY, WorkerPool
+from repro.exceptions import ReproError
 from repro.structures.structure import Structure
 
 
@@ -60,7 +63,13 @@ class EngineStats:
     ``boundary_memo_hits`` / ``boundary_memo_misses`` count memoized
     ∃-component boundary-relation lookups, and ``semijoin_eliminations``
     / ``backtracking_eliminations`` say which evaluator served each
-    miss.  ``compile_seconds`` is time spent compiling plans,
+    miss.  ``worker_context_hits`` / ``worker_context_misses`` count
+    lookups of the worker-resident context caches inside the engine's
+    long-lived pool (a hit means a pool job reused a built index and
+    boundary memo instead of rebuilding).  ``persist_hits`` /
+    ``persist_misses`` / ``persist_stores`` count on-disk plan-store
+    traffic when ``persistent_cache_dir`` is configured.
+    ``compile_seconds`` is time spent compiling plans,
     ``execute_seconds`` time spent executing them.
     """
 
@@ -76,6 +85,11 @@ class EngineStats:
     boundary_memo_misses: int = 0
     semijoin_eliminations: int = 0
     backtracking_eliminations: int = 0
+    worker_context_hits: int = 0
+    worker_context_misses: int = 0
+    persist_hits: int = 0
+    persist_misses: int = 0
+    persist_stores: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
     strategies: dict[str, int] = field(default_factory=dict)
@@ -120,6 +134,11 @@ class EngineStats:
             "boundary_memo_misses": self.boundary_memo_misses,
             "semijoin_eliminations": self.semijoin_eliminations,
             "backtracking_eliminations": self.backtracking_eliminations,
+            "worker_context_hits": self.worker_context_hits,
+            "worker_context_misses": self.worker_context_misses,
+            "persist_hits": self.persist_hits,
+            "persist_misses": self.persist_misses,
+            "persist_stores": self.persist_stores,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "strategies": dict(self.strategies),
@@ -137,6 +156,18 @@ class Engine:
         Capacity of the LRU cache of per-structure execution contexts.
     max_disjuncts:
         Safety limit forwarded to the inclusion-exclusion expansion.
+    persistent_cache_dir:
+        When given, compiled plans are written through to (and misses
+        first consult) a :class:`~repro.engine.persist.PlanStore`
+        under this directory, keyed by library version -- fresh
+        processes pointed at the same directory start warm.
+    processes:
+        Size of the engine's long-lived worker pool (default: one per
+        CPU).  The pool itself starts lazily on the first parallel
+        call and then stays resident for the engine's lifetime.
+    worker_context_cache_size:
+        How many execution contexts each pool worker keeps resident
+        (keyed by structure fingerprint).
     """
 
     def __init__(
@@ -144,10 +175,21 @@ class Engine:
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         context_cache_size: int = DEFAULT_CONTEXT_CACHE_SIZE,
         max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+        persistent_cache_dir: str | None = None,
+        processes: int | None = None,
+        worker_context_cache_size: int = DEFAULT_WORKER_CONTEXT_CAPACITY,
     ):
         self.plans = PlanCache(plan_cache_size)
         self.contexts = ExecutionContextCache(context_cache_size)
         self.max_disjuncts = max_disjuncts
+        self.store = (
+            PlanStore(persistent_cache_dir)
+            if persistent_cache_dir is not None
+            else None
+        )
+        self.pool = WorkerPool(
+            processes=processes, context_capacity=worker_context_cache_size
+        )
         self._lock = threading.Lock()
         self._compile_seconds = 0.0
         self._execute_seconds = 0.0
@@ -158,12 +200,44 @@ class Engine:
 
     # ------------------------------------------------------------------
     def compile(self, query: Query, strategy: str = "auto") -> CountingPlan:
-        """The compiled plan for ``query`` (cached)."""
+        """The compiled plan for ``query`` (cached, persisted if configured)."""
         before = time.perf_counter()
-        plan = self.plans.get(query, strategy, self.max_disjuncts)
+        plan = self.plans.get(query, strategy, self.max_disjuncts, store=self.store)
         with self._lock:
             self._compile_seconds += time.perf_counter() - before
         return plan
+
+    # ------------------------------------------------------------------
+    # Warm-start: the persistent plan store
+    # ------------------------------------------------------------------
+    def warm_from_disk(self) -> int:
+        """Load every persisted plan into the in-memory plan cache.
+
+        Returns the number of plans loaded.  Requires
+        ``persistent_cache_dir``; corrupt files are skipped (they are
+        misses, never errors).
+        """
+        if self.store is None:
+            raise ReproError(
+                "warm_from_disk() needs Engine(persistent_cache_dir=...)"
+            )
+        loaded = 0
+        for key, plan in self.store.load_all():
+            self.plans.seed(key, plan)
+            loaded += 1
+        return loaded
+
+    def flush_to_disk(self) -> int:
+        """Persist every cached plan; returns the number written."""
+        if self.store is None:
+            raise ReproError(
+                "flush_to_disk() needs Engine(persistent_cache_dir=...)"
+            )
+        written = 0
+        for key, plan in self.plans.items():
+            self.store.save(key, plan)
+            written += 1
+        return written
 
     def _context_for(self, plan: CountingPlan, structure: Structure):
         # The baseline kinds never consult a context; don't build (or
@@ -199,26 +273,42 @@ class Engine:
         The structure is partitioned into ``shard_count``
         disjoint-universe shards (default: one per CPU; the partition is
         cached on the structure's execution context), every connected
-        query component runs against every shard -- over the process
-        pool when ``parallel`` allows -- and the per-shard results are
-        combined exactly.  Returns precisely what :meth:`count` returns.
+        query component runs against every shard -- over the engine's
+        long-lived worker pool when ``parallel`` allows, whose workers
+        keep per-shard contexts resident across calls -- and the
+        per-shard results are combined exactly.  Returns precisely what
+        :meth:`count` returns.
+
+        ``shard_count`` below one is an error (it used to silently fall
+        back to the CPU default), and ``sharded_calls`` counts only
+        genuinely sharded executions: the baseline plan kinds run
+        whole-structure and are plain ``count_calls``.
         """
+        if shard_count is not None and shard_count < 1:
+            raise ReproError("shard_count must be at least 1")
         plan = self.compile(query, strategy)
         before = time.perf_counter()
-        if plan.kind in _CONTEXT_KINDS:
+        sharded_execution = plan.kind in _CONTEXT_KINDS
+        if sharded_execution:
             context = self.contexts.get(structure)
             sharded = context.sharded(
-                shard_count or default_process_count(), shard_strategy
+                default_process_count() if shard_count is None else shard_count,
+                shard_strategy,
             )
             result = execute_sharded(
-                plan, sharded, parallel=parallel, processes=processes
+                plan,
+                sharded,
+                parallel=parallel,
+                processes=processes,
+                pool=self.pool,
             )
         else:
             result = execute(plan, structure, None)
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._count_calls += 1
-            self._sharded_calls += 1
+            if sharded_execution:
+                self._sharded_calls += 1
             self._strategies[strategy] = self._strategies.get(strategy, 0) + 1
         return result
 
@@ -246,6 +336,7 @@ class Engine:
             parallel=parallel,
             processes=processes,
             context_cache=self.contexts,
+            pool=self.pool,
         )
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
@@ -274,20 +365,45 @@ class Engine:
                 boundary_memo_misses=context_stats.boundary_misses,
                 semijoin_eliminations=context_stats.semijoin_eliminations,
                 backtracking_eliminations=context_stats.backtracking_eliminations,
+                worker_context_hits=self.pool.worker_context_hits,
+                worker_context_misses=self.pool.worker_context_misses,
+                persist_hits=self.store.hits if self.store else 0,
+                persist_misses=self.store.misses if self.store else 0,
+                persist_stores=self.store.stores if self.store else 0,
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),
             )
 
     def clear_caches(self) -> None:
-        """Drop all cached plans and contexts (a "cold" engine again)."""
+        """Drop all cached plans and contexts (a "cold" engine again).
+
+        The persistent plan store (if any) is left untouched; use
+        ``engine.store.clear()`` to wipe it too.
+        """
         self.plans.clear()
         self.contexts.clear()
+
+    def close(self) -> None:
+        """Shut down the engine's worker pool (caches stay usable)."""
+        self.pool.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def reset_stats(self) -> None:
         """Zero all counters and timings."""
         self.plans.reset_stats()
         self.contexts.reset_stats()
+        self.pool.worker_context_hits = 0
+        self.pool.worker_context_misses = 0
+        if self.store is not None:
+            self.store.hits = 0
+            self.store.misses = 0
+            self.store.stores = 0
         with self._lock:
             self._compile_seconds = 0.0
             self._execute_seconds = 0.0

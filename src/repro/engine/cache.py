@@ -45,14 +45,33 @@ DEFAULT_INDEX_CACHE_SIZE = DEFAULT_CONTEXT_CACHE_SIZE
 DEFAULT_PARSE_CACHE_SIZE = 1024
 
 
+class _InFlight:
+    """Single-flight bookkeeping for one key being computed."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
+
+
 class LRUCache(Generic[Key, Value]):
-    """A small thread-safe LRU cache with hit/miss counters."""
+    """A small thread-safe LRU cache with hit/miss counters.
+
+    Misses are *single-flight*: concurrent ``get_or_compute`` calls on
+    the same absent key elect one leader to run ``compute`` (still
+    outside the lock -- compilation can be slow and reentrant) while the
+    others wait for its result, so one compilation serves them all and
+    the miss counter reflects exactly one computation per key.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ReproError("cache capacity must be at least 1")
         self.capacity = capacity
         self._data: OrderedDict[Key, Value] = OrderedDict()
+        self._inflight: dict[Key, _InFlight] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -64,15 +83,53 @@ class LRUCache(Generic[Key, Value]):
                 self.hits += 1
                 self._data.move_to_end(key)
                 return self._data[key]
-            self.misses += 1
-        # Compute outside the lock: compilation can be slow and reentrant.
-        value = compute()
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _InFlight()
+                self.misses += 1
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # Another thread is computing this key: wait for it.  Its
+            # failure propagates (computing again would fail the same
+            # way for deterministic compiles, and hiding it is worse).
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.hits += 1
+            return flight.value  # type: ignore[return-value]
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        flight.value = value
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+            self._inflight.pop(key, None)
+        flight.event.set()
         return value
+
+    def put(self, key: Key, value: Value) -> None:
+        """Insert ``value`` directly (used when warming from disk)."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def items(self) -> list[tuple[Key, Value]]:
+        """A snapshot of the cached entries, least recent first."""
+        with self._lock:
+            return list(self._data.items())
 
     def __contains__(self, key: object) -> bool:
         with self._lock:
@@ -165,14 +222,37 @@ class PlanCache:
         return query
 
     def get(
-        self, query: Query, strategy: str, max_disjuncts: int
+        self, query: Query, strategy: str, max_disjuncts: int, store=None
     ) -> CountingPlan:
-        """The compiled plan for the query, compiling at most once."""
+        """The compiled plan for the query, compiling at most once.
+
+        With a :class:`~repro.engine.persist.PlanStore`, an in-memory
+        miss first consults the store (a persisted plan skips
+        compilation entirely) and a fresh compilation is written through
+        to disk, so later processes start warm.
+        """
         resolved = self.resolve(query)
         key = plan_key(resolved, strategy, max_disjuncts)
-        return self._cache.get_or_compute(
-            key, lambda: compile_plan(resolved, strategy, max_disjuncts)
-        )
+
+        def compute() -> CountingPlan:
+            if store is not None:
+                persisted = store.load(key)
+                if persisted is not None:
+                    return persisted
+            plan = compile_plan(resolved, strategy, max_disjuncts)
+            if store is not None:
+                store.save(key, plan)
+            return plan
+
+        return self._cache.get_or_compute(key, compute)
+
+    def seed(self, key: PlanKey, plan: CountingPlan) -> None:
+        """Insert an already-compiled plan (warming from disk)."""
+        self._cache.put(key, plan)
+
+    def items(self) -> list[tuple[PlanKey, CountingPlan]]:
+        """A snapshot of the cached ``(key, plan)`` entries."""
+        return self._cache.items()
 
     @property
     def hits(self) -> int:

@@ -121,6 +121,7 @@ class ExecutionContext:
         "_satisfiable_memo",
         "_sentence_memo",
         "_sharded_memo",
+        "_count_memo",
     )
 
     def __init__(
@@ -142,6 +143,7 @@ class ExecutionContext:
         self._satisfiable_memo: dict["ExistsComponent", bool] = {}
         self._sentence_memo: dict["PPFormula", bool] = {}
         self._sharded_memo: dict[tuple[int, str], "ShardedStructure"] = {}
+        self._count_memo: dict["PPFormula", int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -185,6 +187,28 @@ class ExecutionContext:
         if self.memoize:
             self._satisfiable_memo[component] = satisfiable
         return satisfiable
+
+    def count_plan(self, plan) -> int:
+        """The count of a compiled pp-plan on this structure, memoized.
+
+        Keyed by the plan's base formula (two compilations of the same
+        formula count identically by exactness), so on a long-lived
+        context -- above all the worker-resident ones of
+        :mod:`repro.engine.pool` -- a repeated (plan, shard) evaluation
+        is a dictionary lookup instead of a junction-tree run.  The
+        memo follows the context's lifetime: it is dropped by
+        :meth:`clear` and bounded by the worker cache's LRU eviction.
+        """
+        from repro.algorithms.fpt_counting import execute_pp_plan
+
+        if not self.memoize:
+            return execute_pp_plan(plan, self.structure, self)
+        key = plan.base
+        if key in self._count_memo:
+            return self._count_memo[key]
+        result = execute_pp_plan(plan, self.structure, self)
+        self._count_memo[key] = result
+        return result
 
     def sentence_holds(self, sentence: "PPFormula") -> bool:
         """Does the pp-sentence hold on the structure?  Memoized."""
@@ -250,6 +274,7 @@ class ExecutionContext:
         self._satisfiable_memo.clear()
         self._sentence_memo.clear()
         self._sharded_memo.clear()
+        self._count_memo.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

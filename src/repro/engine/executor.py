@@ -8,11 +8,15 @@ inclusion-exclusion) the plan already contains.
 
 :func:`count_many` is the batch API: every query is compiled once and
 executed against every structure.  When ``parallel`` is enabled the
-(plan, structure) grid is fanned out over a :mod:`multiprocessing` pool
-as structure-major blocks, so each worker builds **one** execution
-context per structure it touches instead of one index per grid cell;
-any failure to set up the pool falls back to the sequential path, so
-batch callers never need to care whether the host allows subprocesses.
+(plan, structure) grid is fanned out over a
+:class:`~repro.engine.pool.WorkerPool` as structure-major blocks, so
+each worker serves **one** execution context per structure it touches
+(resident across calls when the pool is long-lived) instead of one
+index per grid cell.  Failure handling is two-sided: failing to *set
+up* the pool (no subprocess support, unpicklable jobs) falls back to
+the sequential path, while an exception raised *inside* a worker task
+propagates to the caller -- a genuine counting bug is never masked by
+a silent sequential re-run.
 
 :func:`execute_sharded` is the scale-out path: it splits the plan along
 the query's connected components
@@ -27,7 +31,6 @@ sum, query components multiply, sentence components OR.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -45,6 +48,13 @@ from repro.engine.plan import (
     compile_plan,
     component_pp_plans,
 )
+from repro.engine.pool import (
+    WorkerPool,
+    WorkerTaskError,
+    count_block_task,
+    default_process_count,
+    shard_task,
+)
 from repro.exceptions import ReproError
 from repro.logic.pp import PPFormula
 from repro.structures.sharding import (
@@ -58,17 +68,22 @@ from repro.structures.structure import Structure
 #: baselines re-derive everything per call by design).
 _CONTEXT_KINDS = ("pp-fpt", "ep-plus")
 
-#: Pool-setup / pickling errors that demote parallel paths to sequential.
-_POOL_FALLBACK_ERRORS: tuple[type[BaseException], ...]
-
 
 def _pool_fallback_errors() -> tuple[type[BaseException], ...]:
+    """Pool-*setup* errors that demote parallel paths to sequential.
+
+    Only errors raised while creating the pool or pickling jobs into it
+    belong here (``TypeError`` / ``AttributeError`` are how unpicklable
+    objects actually fail to serialize).  Exceptions raised *inside* a
+    worker task never reach this set: they arrive parent-side wrapped
+    in :class:`~repro.engine.pool.WorkerTaskError` and are re-raised to
+    the caller.
+    """
     import pickle
 
     return (
         ImportError,
         OSError,
-        ValueError,
         pickle.PicklingError,
         AttributeError,
         TypeError,
@@ -121,21 +136,21 @@ def _sentence_holds(sentence, structure: Structure, context) -> bool:
     return context.sentence_holds(sentence)
 
 
-def default_process_count() -> int:
-    """The pool size used when ``processes`` is not given."""
-    return max(1, (os.cpu_count() or 1))
+def _map_jobs(task, jobs, processes: int | None, pool: WorkerPool | None) -> list:
+    """Run ``jobs`` through ``pool``, or a throwaway pool when none given.
 
-
-def _pool(processes: int):
-    import multiprocessing
-
-    # fork shares the already-imported library with the workers; fall
-    # back to the default start method where fork is unavailable.
-    try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX hosts
-        mp_context = multiprocessing.get_context()
-    return mp_context.Pool(processes=processes)
+    A caller-supplied pool (the engine's long-lived one) is used as-is
+    so its worker-resident context caches stay warm across calls --
+    unless ``processes`` explicitly asks for a different pool size, in
+    which case the per-call override wins and a throwaway pool of that
+    size runs the jobs.  The throwaway pool is sized to the job list
+    and torn down afterwards, matching the old per-call behavior.
+    """
+    if pool is not None and (processes is None or processes == pool.processes):
+        return pool.map(task, jobs)
+    workers = max(1, min(processes or default_process_count(), len(jobs)))
+    with WorkerPool(processes=workers) as transient:
+        return transient.map(task, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +163,7 @@ def count_many(
     parallel: bool | None = None,
     processes: int | None = None,
     context_cache: ExecutionContextCache | None = None,
+    pool: WorkerPool | None = None,
 ) -> list[list[int]]:
     """Count every query on every structure: ``result[i][j] = |q_i(B_j)|``.
 
@@ -160,7 +176,9 @@ def count_many(
     distinct structure (per worker, on the parallel path): the jobs
     shipped to the pool are structure-major blocks of plans, not
     individual grid cells, so a structure's positional index is built
-    once per block instead of once per cell.
+    once per block instead of once per cell.  Passing the engine's
+    long-lived ``pool`` additionally keeps those contexts resident
+    *across* calls, keyed by structure fingerprint.
     """
     plans = [
         q if isinstance(q, CountingPlan) else compile_plan(q, strategy)
@@ -172,12 +190,15 @@ def count_many(
 
     if parallel and cells > 1:
         try:
-            return _count_many_parallel(plans, structures, processes)
+            return _count_many_parallel(plans, structures, processes, pool)
+        except WorkerTaskError as failure:
+            # A counting error inside a worker is a real error of this
+            # grid; surface the original exception to the caller rather
+            # than silently re-running everything sequentially.
+            raise failure.original from failure
         except _pool_fallback_errors():
             # No subprocess support (restricted hosts) or unpicklable
             # plans/structures -- fall through to the sequential path.
-            # Genuine counting errors (SignatureError, ReproError, ...)
-            # propagate from either path.
             pass
     return _count_many_sequential(plans, structures, context_cache)
 
@@ -200,24 +221,18 @@ def _count_many_sequential(
     return out
 
 
-def _count_block(job: tuple[tuple[CountingPlan, ...], Structure]) -> list[int]:
-    """Worker: run a block of plans against one structure, sharing one
-    context (hence one positional index) across the whole block."""
-    plans, structure = job
-    context = (
-        ExecutionContext(structure)
-        if any(plan.kind in _CONTEXT_KINDS for plan in plans)
-        else None
-    )
-    return [execute(plan, structure, context) for plan in plans]
-
-
 def _count_many_parallel(
     plans: Sequence[CountingPlan],
     structures: Sequence[Structure],
     processes: int | None,
+    pool: WorkerPool | None,
 ) -> list[list[int]]:
-    workers = processes or default_process_count()
+    if processes is not None:
+        workers = processes
+    elif pool is not None:
+        workers = pool.processes
+    else:
+        workers = default_process_count()
     workers = max(1, min(workers, len(plans) * len(structures)))
     # Structure-major blocks: when there are fewer structures than
     # workers, each structure's plan list is split into several blocks
@@ -227,14 +242,20 @@ def _count_many_parallel(
         1, min(len(plans), -(-workers * 2 // max(1, len(structures))))
     )
     chunk = -(-len(plans) // blocks_per_structure)
-    jobs: list[tuple[tuple[CountingPlan, ...], Structure]] = []
+    jobs: list[tuple[tuple[CountingPlan, ...], Structure, bool]] = []
     meta: list[tuple[int, int]] = []  # (structure index, first plan index)
     for j, structure in enumerate(structures):
         for start in range(0, len(plans), chunk):
-            jobs.append((tuple(plans[start : start + chunk]), structure))
+            block = tuple(plans[start : start + chunk])
+            use_context = any(plan.kind in _CONTEXT_KINDS for plan in block)
+            if use_context and pool is not None:
+                # Ship the cached fingerprint with the pickled structure
+                # so the resident workers key their caches without
+                # rehashing (a throwaway pool can never hit anyway).
+                structure.fingerprint()
+            jobs.append((block, structure, use_context))
             meta.append((j, start))
-    with _pool(min(workers, len(jobs))) as pool:
-        block_results = pool.map(_count_block, jobs)
+    block_results = _map_jobs(count_block_task, jobs, processes, pool)
     out: list[list[int]] = [[0] * len(structures) for _ in plans]
     for (j, start), counts in zip(meta, block_results):
         for offset, value in enumerate(counts):
@@ -371,24 +392,30 @@ def execute_sharded(
     shard_count: int | None = None,
     parallel: bool | None = None,
     processes: int | None = None,
+    pool: WorkerPool | None = None,
 ) -> int:
     """Count the answers of a compiled plan via sharded execution.
 
     ``sharded`` is either a prebuilt
     :class:`~repro.structures.sharding.ShardedStructure` or a plain
     structure, which is then partitioned into ``shard_count`` shards
-    (default: the machine's process count).  Returns exactly the count
+    (default: the machine's process count; ``shard_count`` below one is
+    an error, never a silent fallback).  Returns exactly the count
     :func:`execute` returns on the whole structure; the work is one job
-    per non-empty shard, fanned over the multiprocessing pool when
-    ``parallel`` allows, with all units of a shard sharing one execution
-    context (index + boundary-relation memo).
+    per non-empty shard, fanned over the worker pool when ``parallel``
+    allows, with all units of a shard sharing one execution context
+    (index + boundary-relation memo) -- resident across calls when the
+    engine's long-lived ``pool`` is passed.
 
     The baseline plan kinds (``naive``, ``disjuncts``) gain nothing from
     sharding and run whole-structure.
     """
     if isinstance(sharded, Structure):
+        if shard_count is not None and shard_count < 1:
+            raise ReproError("shard_count must be at least 1")
         sharded = shard_structure(
-            sharded, shard_count or default_process_count()
+            sharded,
+            default_process_count() if shard_count is None else shard_count,
         )
     if plan.kind not in _CONTEXT_KINDS:
         return execute(plan, sharded.structure)
@@ -400,8 +427,16 @@ def execute_sharded(
         parallel = default_process_count() > 1 and len(shards) > 1
     jobs = [(program.units, shard) for shard in shards]
     if parallel and len(jobs) > 1 and program.units:
+        if pool is not None:
+            # Computed parent-side so the cached fingerprint ships
+            # inside the pickled shard and keys the worker-resident
+            # context cache without being re-derived per job.
+            for shard in shards:
+                shard.fingerprint()
         try:
-            values_by_shard = _run_shards_parallel(jobs, processes)
+            values_by_shard = _map_jobs(shard_task, jobs, processes, pool)
+        except WorkerTaskError as failure:
+            raise failure.original from failure
         except _pool_fallback_errors():
             values_by_shard = [_run_shard(job) for job in jobs]
     else:
@@ -420,13 +455,3 @@ def execute_sharded(
         if all(any(rows[i]) for i in disjunct):
             return sharded.universe_size ** program.liberal_count
     return sum(_combine_term(term, rows) for term in program.terms)
-
-
-def _run_shards_parallel(
-    jobs: list[tuple[tuple[_ShardUnit, ...], Structure]],
-    processes: int | None,
-) -> list[list]:
-    workers = processes or default_process_count()
-    workers = max(1, min(workers, len(jobs)))
-    with _pool(workers) as pool:
-        return pool.map(_run_shard, jobs)

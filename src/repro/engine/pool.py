@@ -1,0 +1,314 @@
+"""Long-lived worker pools with worker-resident execution-context caches.
+
+The parallel paths of :mod:`repro.engine.executor` used to create a
+throwaway :mod:`multiprocessing` pool per call and rebuild every
+:class:`~repro.engine.context.ExecutionContext` (positional index,
+boundary-relation memos) inside every job.  :class:`WorkerPool` replaces
+both halves of that waste:
+
+* the pool is created **once** (lazily, on first use) and reused across
+  calls -- an :class:`~repro.engine.api.Engine` keeps one for its whole
+  lifetime, so repeated ``count_many`` / ``count_sharded`` calls pay the
+  fork cost once;
+* every worker process holds a small **resident cache** of execution
+  contexts keyed by the cheap, process-stable
+  :meth:`~repro.structures.structure.Structure.fingerprint`, so a job
+  that lands on a worker that has already served the same data reuses
+  the built index and the memoized ∃-component boundary relations
+  instead of re-deriving them.
+
+Jobs still carry the (picklable) structure so a cold worker can build
+the context itself; the fingerprint is what turns "same data again"
+into a cache hit without relying on object identity across processes.
+Each task result reports whether the worker's context cache hit, which
+the pool aggregates into :attr:`WorkerPool.worker_context_hits` /
+``worker_context_misses`` -- the engine surfaces them as stats.
+
+Error handling is split in two, which is what lets genuine counting
+bugs propagate instead of being masked by the sequential fallback:
+
+* exceptions raised *inside* a worker task are wrapped in a
+  ``_TaskFailure`` sentinel and re-raised parent-side as
+  :class:`WorkerTaskError` (carrying the original exception);
+* pool-*setup* problems (no subprocess support, unpicklable jobs) raise
+  their native ``ImportError`` / ``OSError`` / pickling errors from
+  ``map`` itself, which the executor treats as "fall back to the
+  sequential path".
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.structures.structure import Structure
+
+#: Default number of execution contexts each worker keeps resident.
+DEFAULT_WORKER_CONTEXT_CAPACITY = 8
+
+
+def default_process_count() -> int:
+    """The pool size used when ``processes`` is not given."""
+    return max(1, (os.cpu_count() or 1))
+
+
+class WorkerTaskError(ReproError):
+    """An exception escaped a task running inside a pool worker.
+
+    ``original`` is the worker's exception (unpickled parent-side); the
+    executor re-raises it to the caller, so a ``ValueError`` raised in a
+    worker surfaces as a ``ValueError``, never as a silent sequential
+    re-run.
+    """
+
+    def __init__(self, original: BaseException):
+        self.original = original
+        super().__init__(
+            f"pool worker raised {type(original).__name__}: {original}"
+        )
+
+
+@dataclass
+class _TaskOk:
+    """A successful worker result.
+
+    ``context_hit`` is ``True``/``False`` when the task consulted the
+    worker-resident context cache, ``None`` when it needed no context.
+    """
+
+    value: object
+    context_hit: bool | None = None
+
+
+@dataclass
+class _TaskFailure:
+    """Sentinel carrying an exception raised inside a worker task."""
+
+    exception: BaseException
+
+
+def _wrap_failure(exc: BaseException) -> _TaskFailure:
+    import pickle
+
+    try:
+        pickle.dumps(exc)
+    except Exception:
+        # The exception itself cannot cross the process boundary; ship a
+        # faithful description instead of crashing the result channel.
+        return _TaskFailure(ReproError(f"{type(exc).__name__}: {exc}"))
+    return _TaskFailure(exc)
+
+
+# ----------------------------------------------------------------------
+# Worker-side resident state
+# ----------------------------------------------------------------------
+_worker_contexts: OrderedDict | None = None
+_worker_capacity: int = DEFAULT_WORKER_CONTEXT_CAPACITY
+
+
+def _init_worker(capacity: int) -> None:
+    """Pool initializer: give this worker an empty resident cache."""
+    global _worker_contexts, _worker_capacity
+    _worker_contexts = OrderedDict()
+    _worker_capacity = max(1, capacity)
+
+
+def _resident_context(structure: Structure):
+    """``(context, hit)`` from this worker's fingerprint-keyed cache."""
+    global _worker_contexts
+    from repro.engine.context import ExecutionContext
+
+    if _worker_contexts is None:
+        # Running without the initializer (e.g. the in-process tests
+        # call the task functions directly): behave as a cold cache.
+        _worker_contexts = OrderedDict()
+    key = structure.fingerprint()
+    context = _worker_contexts.get(key)
+    if context is not None:
+        _worker_contexts.move_to_end(key)
+        return context, True
+    context = ExecutionContext(structure)
+    _worker_contexts[key] = context
+    while len(_worker_contexts) > _worker_capacity:
+        _worker_contexts.popitem(last=False)
+    return context, False
+
+
+# ----------------------------------------------------------------------
+# The task functions shipped to workers
+# ----------------------------------------------------------------------
+def count_block_task(job) -> _TaskOk | _TaskFailure:
+    """Run a block of plans against one structure.
+
+    ``job = (plans, structure, use_context)``; with ``use_context`` the
+    block shares one resident execution context (and the executions run
+    against the resident context's structure, so index, memos, and data
+    stay coherent on a fingerprint hit).
+    """
+    plans, structure, use_context = job
+    try:
+        from repro.engine.executor import execute
+
+        context = None
+        hit: bool | None = None
+        if use_context:
+            context, hit = _resident_context(structure)
+            structure = context.structure
+        return _TaskOk(
+            [execute(plan, structure, context) for plan in plans], hit
+        )
+    except Exception as exc:
+        return _wrap_failure(exc)
+
+
+def shard_task(job) -> _TaskOk | _TaskFailure:
+    """Evaluate every shard unit on one shard through one resident context.
+
+    ``job = (units, shard)``: the sharded executor's per-shard work,
+    with the context (index + boundary memos) resident across calls, so
+    a repeated ``count_sharded`` on the same data re-executes against
+    warm memos instead of rebuilding them.
+    """
+    units, shard = job
+    try:
+        context, hit = _resident_context(shard)
+        out: list = []
+        for unit in units:
+            if unit.kind == "count":
+                assert unit.plan is not None
+                out.append(context.count_plan(unit.plan))
+            else:
+                assert unit.sentence is not None
+                out.append(context.sentence_holds(unit.sentence))
+        return _TaskOk(out, hit)
+    except Exception as exc:
+        return _wrap_failure(exc)
+
+
+# ----------------------------------------------------------------------
+# The parent-side pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A reusable multiprocessing pool with warm worker-side caches.
+
+    Parameters
+    ----------
+    processes:
+        Pool size (default: one worker per CPU).
+    context_capacity:
+        How many execution contexts each worker keeps resident.
+
+    The underlying :mod:`multiprocessing` pool is created lazily on the
+    first :meth:`map`, so constructing a ``WorkerPool`` (an
+    :class:`~repro.engine.api.Engine` does it eagerly) costs nothing
+    until a parallel path actually runs.  Usable as a context manager;
+    :meth:`close` shuts the workers down.
+    """
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        context_capacity: int = DEFAULT_WORKER_CONTEXT_CAPACITY,
+    ):
+        if processes is not None and processes < 1:
+            raise ReproError("worker pool needs at least one process")
+        self.processes = processes or default_process_count()
+        self.context_capacity = context_capacity
+        self._pool = None
+        self._lock = threading.Lock()
+        self.worker_context_hits = 0
+        self.worker_context_misses = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing
+
+                # fork shares the already-imported library with the
+                # workers; fall back to the default start method where
+                # fork is unavailable.
+                try:
+                    mp_context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX hosts
+                    mp_context = multiprocessing.get_context()
+                self._pool = mp_context.Pool(
+                    processes=self.processes,
+                    initializer=_init_worker,
+                    initargs=(self.context_capacity,),
+                )
+            return self._pool
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying process pool has been created."""
+        return self._pool is not None
+
+    def map(self, task, jobs) -> list:
+        """Run ``task`` over ``jobs`` in the pool and unwrap the results.
+
+        Raises :class:`WorkerTaskError` when a task failed inside a
+        worker; lets pool-setup and job-pickling errors (``OSError``,
+        pickling errors, ...) propagate as themselves, which is the
+        signal the executor's sequential fallback keys on.
+        """
+        raw = self._ensure_pool().map(task, list(jobs))
+        values = []
+        hits = misses = 0
+        for item in raw:
+            if isinstance(item, _TaskFailure):
+                raise WorkerTaskError(item.exception)
+            values.append(item.value)
+            if item.context_hit is True:
+                hits += 1
+            elif item.context_hit is False:
+                misses += 1
+        with self._lock:
+            self.worker_context_hits += hits
+            self.worker_context_misses += misses
+        return values
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the current workers down.
+
+        The ``WorkerPool`` object stays usable: a later :meth:`map`
+        starts a fresh (cold) set of workers, which is what lets an
+        :class:`~repro.engine.api.Engine` free its pool resources
+        without becoming unusable.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def terminate(self) -> None:
+        """Kill the workers immediately."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.terminate()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "started" if self.started else "idle"
+        return (
+            f"WorkerPool(processes={self.processes}, {state}, "
+            f"context_hits={self.worker_context_hits})"
+        )

@@ -39,7 +39,7 @@ class Structure:
         in the universe.  Relations absent from the mapping are empty.
     """
 
-    __slots__ = ("_signature", "_universe", "_relations", "_hash")
+    __slots__ = ("_signature", "_universe", "_relations", "_hash", "_fingerprint")
 
     def __init__(
         self,
@@ -73,6 +73,7 @@ class Structure:
             rels[symbol.name] = tuples
         self._relations = rels
         self._hash: int | None = None
+        self._fingerprint: tuple | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -254,6 +255,48 @@ class Structure:
                 )
         relations = {s.name: self._relations[s.name] for s in signature}
         return Structure(signature, self._universe, relations)
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> tuple[int, tuple, str]:
+        """A cheap, process-stable fingerprint of the structure.
+
+        ``(universe size, per-relation (name, arity, tuple count)s,
+        content digest)``, where the digest is a BLAKE2 hash over the
+        ``repr``-sorted universe and relation tuples.  Unlike ``hash()``
+        (salted per process for strings), the fingerprint is identical
+        across processes and runs, so it can key caches that outlive a
+        single process -- in particular the worker-resident execution
+        context caches of :mod:`repro.engine.pool`, which reuse a
+        structure's positional index and boundary memos across pool jobs
+        by shipping fingerprints instead of rebuilding.
+
+        Equal structures always share a fingerprint; distinct structures
+        collide only if BLAKE2 collides (or two universe elements share
+        a ``repr``), which consumers treat as negligible.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            for element in sorted(map(repr, self._universe)):
+                digest.update(element.encode("utf-8", "backslashreplace"))
+                digest.update(b"\x00")
+            counts = []
+            for symbol in sorted(self._signature, key=lambda s: s.name):
+                tuples = self._relations[symbol.name]
+                counts.append((symbol.name, symbol.arity, len(tuples)))
+                digest.update(f"\x01{symbol.name}/{symbol.arity}".encode("utf-8"))
+                for t in sorted(map(repr, tuples)):
+                    digest.update(t.encode("utf-8", "backslashreplace"))
+                    digest.update(b"\x00")
+            self._fingerprint = (
+                len(self._universe),
+                tuple(counts),
+                digest.hexdigest(),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Equality / hashing / display

@@ -168,6 +168,38 @@ def test_count_many_builds_at_most_one_index_per_distinct_structure(monkeypatch)
 # ----------------------------------------------------------------------
 # Context-aware count_answers and the decomposition-override fix
 # ----------------------------------------------------------------------
+def test_count_plan_memoizes_per_base_formula(monkeypatch):
+    import repro.algorithms.fpt_counting as fpt_module
+
+    structure = random_graph(6, 0.4, seed=5)
+    pp = path_query(2, quantify_interior=True)
+    pp_plan = compile_pp_plan(pp)
+    context = ExecutionContext(structure)
+    expected = fpt_module.execute_pp_plan(pp_plan, structure, context)
+
+    calls = []
+    real = fpt_module.execute_pp_plan
+
+    def counting_execute(plan, target, ctx=None):
+        calls.append(plan)
+        return real(plan, target, ctx)
+
+    monkeypatch.setattr(fpt_module, "execute_pp_plan", counting_execute)
+    assert context.count_plan(pp_plan) == expected
+    assert context.count_plan(pp_plan) == expected  # memo hit
+    assert len(calls) == 1
+
+    # With memoization off the execution runs every time.
+    bare = ExecutionContext(structure, memoize=False)
+    assert bare.count_plan(pp_plan) == expected
+    assert bare.count_plan(pp_plan) == expected
+    assert len(calls) == 3
+
+    context.clear()
+    assert context.count_plan(pp_plan) == expected
+    assert len(calls) == 4
+
+
 def test_count_answers_accepts_an_explicit_context():
     structure = random_graph(6, 0.35, seed=8)
     context = ExecutionContext(structure)

@@ -1,4 +1,6 @@
-"""Plan-cache behavior: keys, hits, invalidation, eviction."""
+"""Plan-cache behavior: keys, hits, invalidation, eviction, single-flight."""
+
+import threading
 
 import pytest
 
@@ -24,6 +26,64 @@ def test_lru_cache_eviction_order():
 def test_lru_cache_rejects_zero_capacity():
     with pytest.raises(ReproError):
         LRUCache(0)
+
+
+def test_concurrent_misses_compute_once():
+    """Single-flight: N racing threads on one absent key -> one compute.
+
+    The barrier lines every thread up before the lookup, the event
+    keeps the leader's compute slow enough that every follower arrives
+    while it is in flight; exactly one compilation must run and the
+    miss counter must say so.
+    """
+    cache = LRUCache(4)
+    threads = 8
+    barrier = threading.Barrier(threads)
+    release = threading.Event()
+    computed = []
+
+    def compute():
+        computed.append(1)
+        release.wait(timeout=5)
+        return "value"
+
+    results = [None] * threads
+
+    def worker(i):
+        barrier.wait(timeout=5)
+        results[i] = cache.get_or_compute("key", compute)
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for t in pool:
+        t.start()
+    # All threads are either computing or waiting on the flight now.
+    release.set()
+    for t in pool:
+        t.join(timeout=10)
+    assert results == ["value"] * threads
+    assert len(computed) == 1
+    assert cache.misses == 1
+    assert cache.hits == threads - 1
+
+
+def test_single_flight_propagates_leader_error_then_recovers():
+    cache = LRUCache(4)
+
+    def explode():
+        raise ValueError("compile failed")
+
+    with pytest.raises(ValueError):
+        cache.get_or_compute("key", explode)
+    # The failed flight is cleaned up: the next call computes fresh.
+    assert cache.get_or_compute("key", lambda: 42) == 42
+    assert cache.misses == 2
+
+
+def test_single_flight_does_not_overfill_capacity():
+    cache = LRUCache(2)
+    for i in range(10):
+        cache.get_or_compute(i, lambda i=i: i)
+    assert len(cache) == 2
 
 
 def test_canonical_form_unifies_call_styles():

@@ -1,0 +1,206 @@
+"""Worker pools, structure fingerprints, and parallel-path error handling.
+
+The long-lived :class:`~repro.engine.pool.WorkerPool` must (a) keep
+execution contexts resident across calls, keyed by structure
+fingerprint, (b) propagate exceptions raised inside workers to the
+caller (never mask them with a silent sequential re-run), and (c) leave
+the sequential fallback in place for genuine pool-*setup* failures such
+as unpicklable jobs.
+"""
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    WorkerPool,
+    WorkerTaskError,
+    compile_plan,
+    count_many,
+    execute,
+    execute_sharded,
+)
+from repro.structures.random_gen import random_cluster_graph, random_graph
+from repro.structures.sharding import shard_structure
+from repro.structures.structure import Structure
+from repro.workloads.generators import path_query, union_of_paths_query
+
+
+# ----------------------------------------------------------------------
+# Structure fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_equal_for_equal_structures():
+    a = random_cluster_graph(3, 4, 0.5, seed=5)
+    b = random_cluster_graph(3, 4, 0.5, seed=5)
+    assert a is not b and a == b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_distinguishes_content():
+    base = Structure.from_relations({"E": [(1, 2), (2, 3)]})
+    different_tuples = Structure.from_relations({"E": [(1, 2), (3, 2)]})
+    different_universe = Structure.from_relations(
+        {"E": [(1, 2), (2, 3)]}, universe=[1, 2, 3, 4]
+    )
+    prints = {
+        base.fingerprint(),
+        different_tuples.fingerprint(),
+        different_universe.fingerprint(),
+    }
+    assert len(prints) == 3
+
+
+def test_fingerprint_shape_and_caching():
+    structure = Structure.from_relations({"E": [(1, 2)], "R": [(2, 1)]})
+    size, counts, digest = structure.fingerprint()
+    assert size == 2
+    assert counts == (("E", 2, 1), ("R", 2, 1))
+    assert isinstance(digest, str) and len(digest) == 32
+    assert structure.fingerprint() is structure.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# WorkerPool lifecycle
+# ----------------------------------------------------------------------
+def test_worker_pool_starts_lazily_and_closes():
+    pool = WorkerPool(processes=1)
+    assert not pool.started
+    with pool:
+        pass  # never used: no processes were ever forked
+    assert not pool.started
+
+
+def test_worker_pool_rejects_nonpositive_processes():
+    from repro.exceptions import ReproError
+
+    with pytest.raises(ReproError):
+        WorkerPool(processes=0)
+
+
+def test_engine_pool_is_lazy_until_parallel_call():
+    with Engine() as engine:
+        structure = random_graph(4, 0.5, seed=0)
+        engine.count("E(x, y)", structure)
+        assert not engine.pool.started
+
+
+# ----------------------------------------------------------------------
+# Worker-resident context caches
+# ----------------------------------------------------------------------
+def test_repeated_count_sharded_hits_worker_contexts():
+    structure = random_cluster_graph(6, 4, 0.5, seed=3)
+    query = path_query(2, quantify_interior=True)
+    with Engine() as engine:
+        first = engine.count_sharded(
+            query, structure, shard_count=6, parallel=True
+        )
+        assert engine.stats().worker_context_hits == 0
+        assert engine.stats().worker_context_misses > 0
+        second = engine.count_sharded(
+            query, structure, shard_count=6, parallel=True
+        )
+        assert first == second == execute(compile_plan(query), structure)
+        assert engine.stats().worker_context_hits > 0
+
+
+def test_repeated_parallel_count_many_hits_worker_contexts():
+    structures = [random_graph(5, 0.4, seed=s) for s in range(3)]
+    queries = [path_query(2, quantify_interior=True), union_of_paths_query([1, 2])]
+    with Engine() as engine:
+        first = engine.count_many(queries, structures, parallel=True)
+        second = engine.count_many(queries, structures, parallel=True)
+        assert first == second
+        assert engine.stats().worker_context_hits > 0
+        assert engine.stats().as_dict()["worker_context_hits"] > 0
+
+
+def test_explicit_processes_overrides_the_resident_pool():
+    # A per-call processes= override must be honored (it runs a
+    # throwaway pool of that size), not silently ignored in favor of
+    # the engine's resident pool.
+    structure = random_cluster_graph(4, 4, 0.5, seed=6)
+    query = path_query(2, quantify_interior=True)
+    with Engine(processes=2) as engine:
+        expected = engine.count(query, structure)
+        overridden = engine.count_sharded(
+            query, structure, shard_count=4, parallel=True, processes=1
+        )
+        assert overridden == expected
+        assert not engine.pool.started  # the override bypassed it
+
+
+def test_transient_pools_still_agree_with_sequential():
+    structure = random_cluster_graph(5, 4, 0.4, seed=8)
+    query = path_query(2, quantify_interior=True)
+    plan = compile_plan(query)
+    sharded = shard_structure(structure, 5)
+    assert execute_sharded(plan, sharded, parallel=True) == execute_sharded(
+        plan, sharded, parallel=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker errors propagate; setup errors fall back
+# ----------------------------------------------------------------------
+def test_worker_value_error_propagates_from_count_many(monkeypatch):
+    """A counting bug inside a pool worker must reach the caller.
+
+    The patch lands before the pool forks, so the workers inherit the
+    exploding ``execute``; the sequential path would raise the same
+    way, and the parallel path must not silently demote to it.
+    """
+    import repro.engine.executor as executor_module
+
+    def explode(plan, structure, context=None):
+        raise ValueError("boom inside worker")
+
+    monkeypatch.setattr(executor_module, "execute", explode)
+    structures = [random_graph(4, 0.5, seed=s) for s in range(3)]
+    with pytest.raises(ValueError, match="boom inside worker"):
+        count_many(["E(x, y)"], structures, parallel=True)
+
+
+def test_worker_error_propagates_from_execute_sharded(monkeypatch):
+    import repro.algorithms.fpt_counting as fpt_module
+
+    def explode(plan, structure, context=None):
+        raise ValueError("shard worker boom")
+
+    monkeypatch.setattr(fpt_module, "execute_pp_plan", explode)
+    structure = random_cluster_graph(4, 3, 0.6, seed=2)
+    plan = compile_plan(path_query(2, quantify_interior=True))
+    with pytest.raises(ValueError, match="shard worker boom"):
+        execute_sharded(plan, shard_structure(structure, 4), parallel=True)
+
+
+def test_worker_task_error_carries_original():
+    error = WorkerTaskError(ValueError("original"))
+    assert isinstance(error.original, ValueError)
+    assert "ValueError" in str(error)
+
+
+def _unpicklable_structure() -> Structure:
+    # Lambdas are hashable universe elements but cannot be pickled, so
+    # shipping this structure to a pool fails at job-submission time --
+    # a setup failure, which is exactly what the fallback is for.  Two
+    # disjoint edges give two data components, hence two shard jobs.
+    return Structure.from_relations(
+        {"E": [(lambda: 0, lambda: 1), (lambda: 2, lambda: 3)]}
+    )
+
+
+def test_unpicklable_structure_falls_back_to_sequential():
+    bad = _unpicklable_structure()
+    grid = count_many(
+        ["E(x, y)", "exists z. (E(x, z) & E(z, y))"], [bad], parallel=True
+    )
+    assert grid == [[2], [0]]
+
+
+def test_unpicklable_shards_fall_back_to_sequential():
+    bad = _unpicklable_structure()
+    plan = compile_plan("E(x, y)")
+    sharded = shard_structure(bad, 2, strategy="balanced")
+    assert len(sharded.non_empty_shards()) == 2
+    # Force the parallel path; submission fails to pickle the shard
+    # jobs and the sequential fallback must still produce the count.
+    assert execute_sharded(plan, sharded, parallel=True) == execute(plan, bad)

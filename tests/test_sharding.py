@@ -180,6 +180,52 @@ def test_ten_thousand_tuple_generator_agreement(shard_count):
     assert sharded == whole
 
 
+# ----------------------------------------------------------------------
+# Degenerate sharded paths
+# ----------------------------------------------------------------------
+def test_sharded_empty_structure_has_zero_nonempty_shards():
+    # Zero non-empty shards: the per-unit rows are built from no values
+    # at all, and the combination must still be exact.
+    from repro.logic.signatures import RelationSymbol, Signature
+    from repro.structures.structure import Structure
+
+    signature = Signature([RelationSymbol("E", 2)])
+    empty = Structure.empty(signature)
+    sharded = shard_structure(empty, 3)
+    assert sharded.non_empty_shards() == ()
+    for query in (
+        path_query(2, quantify_interior=True),  # liberal components
+        union_of_paths_query([1, 2]),  # ep-plus terms
+        example_5_21_query(),  # sentence disjuncts
+    ):
+        plan = compile_plan(query)
+        assert execute_sharded(plan, sharded, parallel=False) == execute(
+            plan, empty
+        )
+
+
+def test_sharded_all_components_in_one_shard():
+    # A connected structure: every element lands in a single shard and
+    # the other shards are empty; per-shard sums degenerate to one term.
+    structure = random_cluster_graph(1, 6, 0.8, seed=4)
+    sharded = shard_structure(structure, 5)
+    assert len(sharded.non_empty_shards()) == 1
+    for query in (
+        path_query(2, quantify_interior=True),
+        union_of_paths_query([1, 2]),
+        example_5_21_query(),
+    ):
+        plan = compile_plan(query)
+        assert execute_sharded(plan, sharded, parallel=False) == execute(
+            plan, structure
+        )
+        # The parallel path degenerates to the sequential one (a single
+        # job never fans out) and must agree too.
+        assert execute_sharded(plan, sharded, parallel=True) == execute(
+            plan, structure
+        )
+
+
 def test_parallel_sharded_matches_sequential():
     structure = random_cluster_graph(6, 5, 0.4, seed=3)
     queries = [path_query(2, quantify_interior=True), union_of_paths_query([1, 2])]
@@ -198,8 +244,26 @@ def test_engine_count_sharded_and_baseline_kinds():
     assert engine.count_sharded(query, structure, shard_count=3, parallel=False) == engine.count(
         query, structure
     )
-    # Baseline kinds fall back to whole-structure execution.
+    # Baseline kinds fall back to whole-structure execution -- and do
+    # not count as sharded executions.
     assert engine.count_sharded(
         query, structure, shard_count=3, strategy="naive", parallel=False
     ) == engine.count(query, structure, strategy="naive")
-    assert engine.stats().sharded_calls == 2
+    assert engine.stats().sharded_calls == 1
+
+
+def test_count_sharded_rejects_zero_shard_count():
+    from repro.exceptions import ReproError
+
+    engine = Engine()
+    structure = random_cluster_graph(2, 3, 0.5, seed=0)
+    query = "exists z. (E(x, z) & E(z, y))"
+    for bad in (0, -2):
+        with pytest.raises(ReproError):
+            engine.count_sharded(query, structure, shard_count=bad)
+        with pytest.raises(ReproError):
+            execute_sharded(compile_plan(query), structure, shard_count=bad)
+    # shard_count=None still means "the CPU default", not an error.
+    assert engine.count_sharded(query, structure, parallel=False) == engine.count(
+        query, structure
+    )
