@@ -23,6 +23,13 @@ layers:
   every time) vs. the engine's long-lived resident pool (fork once,
   worker-resident contexts keyed by structure fingerprint).
 
+And one end-to-end serving measurement:
+
+* **serving** -- concurrent client threads mixing ``/count`` and
+  ``/count_sharded`` against a live :mod:`repro.serve` HTTP server
+  with bounded admission; records client-observed p50/p99 latencies,
+  throughput, and explicit 429 rejection counts.
+
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
 a pre-``runs`` report found in the file is migrated to its own key, and
@@ -313,6 +320,185 @@ def bench_warm_workers(quick: bool) -> dict:
     }
 
 
+def bench_serving(quick: bool) -> dict:
+    """Concurrent load through the live HTTP serving front end.
+
+    Boots a real :class:`~repro.serve.httpd.CountingServer` (ephemeral
+    port, bounded admission) and hammers it with client threads mixing
+    ``/count`` and ``/count_sharded`` on a clustered structure.  The
+    interesting numbers are the client-observed p50/p99 latencies, the
+    count of explicit 429 rejections (admission control doing its job
+    under a burst that exceeds ``max_in_flight + max_queue``), and the
+    server-side histogram from ``/metrics`` agreeing with the client
+    view.  Shutdown is graceful and must leave zero child processes.
+    """
+    import json as json_
+    import multiprocessing
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import (
+        BackgroundServer,
+        CountingServer,
+        CountingService,
+        ServiceConfig,
+    )
+
+    clients, per_client = (4, 6) if quick else (8, 24)
+    clusters, size, p = (4, 6, 0.4) if quick else (8, 8, 0.5)
+    structure = random_cluster_graph(clusters, size, p, seed=13)
+    structure_json = {
+        "relations": {
+            name: [list(row) for row in sorted(tuples)]
+            for name, tuples in structure.relations.items()
+        }
+    }
+    query = "exists z. (E(x, z) & E(z, y))"
+    config = ServiceConfig(
+        max_in_flight=4, max_queue=6, request_timeout_seconds=30
+    )
+    server = CountingServer(
+        service=CountingService(config=config, owns_engine=True), port=0
+    )
+
+    latencies: list[float] = []
+    outcomes = {"completed": 0, "rejected": 0, "failed": 0}
+    lock = threading.Lock()
+
+    def client(worker: int) -> None:
+        for round_ in range(per_client):
+            if (worker + round_) % 2:
+                path, payload = "/count_sharded", {
+                    "query": query,
+                    "structure": structure_json,
+                    "shard_count": clusters,
+                    "parallel": False,
+                }
+            else:
+                path, payload = "/count", {
+                    "query": query,
+                    "structure": structure_json,
+                }
+            request = urllib.request.Request(
+                f"{base}{path}",
+                data=json_.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            before = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    json_.load(response)
+            except urllib.error.HTTPError as error:
+                with lock:
+                    outcomes["rejected" if error.code == 429 else "failed"] += 1
+                continue
+            except Exception:
+                # Connection-level failures (URLError, resets) must be
+                # counted, not kill the client thread and skew the
+                # recorded sample.
+                with lock:
+                    outcomes["failed"] += 1
+                continue
+            elapsed = time.perf_counter() - before
+            with lock:
+                latencies.append(elapsed)
+                outcomes["completed"] += 1
+
+    # Burst phase: everyone fires one request at the same instant, at
+    # 3x the admission capacity, so saturation must answer with
+    # explicit 429s (never a collapsing queue).
+    burst_size = 3 * (config.max_in_flight + config.max_queue)
+    burst_outcomes = {"completed": 0, "rejected": 0, "failed": 0}
+    burst_barrier = threading.Barrier(burst_size)
+
+    def burst_client() -> None:
+        request = urllib.request.Request(
+            f"{base}/count",
+            data=json_.dumps(
+                {"query": query, "structure": structure_json}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        burst_barrier.wait()
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                json_.load(response)
+        except urllib.error.HTTPError as error:
+            with lock:
+                burst_outcomes[
+                    "rejected" if error.code == 429 else "failed"
+                ] += 1
+            return
+        except Exception:
+            with lock:
+                burst_outcomes["failed"] += 1
+            return
+        with lock:
+            burst_outcomes["completed"] += 1
+
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - started
+
+        threads = [
+            threading.Thread(target=burst_client) for _ in range(burst_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        metrics = json_.loads(
+            urllib.request.urlopen(f"{base}/metrics", timeout=60).read()
+        )
+    lingering = multiprocessing.active_children()
+
+    latencies.sort()
+
+    def percentile(q: float) -> float | None:
+        if not latencies:
+            return None
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    endpoints = metrics["service"]["endpoints"]
+    return {
+        "clients": clients,
+        "requests_per_client": per_client,
+        "tuples": structure.total_tuples,
+        "max_in_flight": config.max_in_flight,
+        "max_queue": config.max_queue,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": (
+            outcomes["completed"] / wall_seconds if wall_seconds else None
+        ),
+        "completed": outcomes["completed"],
+        "rejected_429": outcomes["rejected"],
+        "failed": outcomes["failed"],
+        "burst_size": burst_size,
+        "burst_completed": burst_outcomes["completed"],
+        "burst_rejected_429": burst_outcomes["rejected"],
+        "burst_failed": burst_outcomes["failed"],
+        "latency_p50_seconds": percentile(0.50),
+        "latency_p90_seconds": percentile(0.90),
+        "latency_p99_seconds": percentile(0.99),
+        "server_rejected": sum(e["rejected"] for e in endpoints.values()),
+        "server_completed": sum(e["completed"] for e in endpoints.values()),
+        "server_count_p99_seconds": endpoints["count"]["latency"]["p99_seconds"],
+        "engine_count_calls": metrics["engine"]["count_calls"],
+        "lingering_children": len(lingering),
+    }
+
+
 def append_report(
     output: Path, key: str, report: dict, force: bool = False
 ) -> dict:
@@ -404,11 +590,13 @@ def main(argv: list[str] | None = None) -> int:
         "sharded_counting": bench_sharded_counting(args.quick),
         "semijoin_memo": bench_semijoin_memo(args.quick),
         "warm_workers": bench_warm_workers(args.quick),
+        "serving": bench_serving(args.quick),
     }
     repeated = report["repeated_query"]
     sharded = report["sharded_counting"]
     semijoin = report["semijoin_memo"]
     warm_workers = report["warm_workers"]
+    serving = report["serving"]
     report["summary"] = {
         "total_seconds": time.perf_counter() - started,
         "repeated_query_speedup": repeated["speedup"],
@@ -418,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
         "sharded_speedup": sharded["sharded_speedup"],
         "semijoin_memo_speedup": semijoin["speedup"],
         "warm_workers_speedup": warm_workers["speedup"],
+        "serving_p99_seconds": serving["latency_p99_seconds"],
+        "serving_throughput_rps": serving["throughput_rps"],
     }
 
     store = append_report(output, run_key, report, force=args.force)
@@ -447,6 +637,24 @@ def main(argv: list[str] | None = None) -> int:
         f"resident pool {warm_workers['resident_pool_seconds']:.4f}s, "
         f"speedup {warm_workers['speedup']:.1f}x "
         f"({warm_workers['worker_context_hits']} worker context hits)"
+    )
+    def _ms(seconds: float | None) -> str:
+        # A run where nothing completed has no percentiles; the print
+        # must still show the failed/rejected counts that explain why.
+        return "n/a" if seconds is None else f"{seconds * 1000:.1f}ms"
+
+    rps = serving["throughput_rps"]
+    print(
+        f"serving ({serving['clients']} clients x "
+        f"{serving['requests_per_client']} requests over HTTP): "
+        f"{serving['completed']} completed"
+        + (f" at {rps:.1f} req/s" if rps is not None else "")
+        + f" ({serving['failed']} failed), "
+        f"p50 {_ms(serving['latency_p50_seconds'])}, "
+        f"p99 {_ms(serving['latency_p99_seconds'])}; "
+        f"burst of {serving['burst_size']}: "
+        f"{serving['burst_rejected_429']} rejected (429); "
+        f"{serving['lingering_children']} children after shutdown"
     )
     return 0
 

@@ -72,7 +72,7 @@ from repro.engine import (
     execute_sharded,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ReproError",

@@ -178,7 +178,18 @@ def count_answers_sharded(
     if engine is None:
         from repro.engine.api import Engine
 
-        engine = Engine()
+        # A throwaway engine must tear its worker pool down before it
+        # goes out of scope; leaving that to ``__del__`` leaked the
+        # child processes until some later GC pass (or never).
+        with Engine() as engine:
+            return engine.count_sharded(
+                query,
+                structure,
+                shard_count=shard_count,
+                strategy=strategy,
+                parallel=parallel,
+                processes=processes,
+            )
     return engine.count_sharded(
         query,
         structure,

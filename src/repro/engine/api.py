@@ -26,6 +26,7 @@ the one-shot API transparently benefits from plan caching::
 
 from __future__ import annotations
 
+import atexit
 import threading
 import time
 from dataclasses import dataclass, field
@@ -349,27 +350,43 @@ class Engine:
 
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """A snapshot of the engine's counters."""
-        context_stats = self.contexts.context_stats
+        """A snapshot of the engine's counters.
+
+        Every component is snapshotted under its own lock (the plan
+        cache, the context cache and its shared
+        :class:`~repro.engine.context.ContextStats` sink, the worker
+        pool, the plan store), so a snapshot taken while other threads
+        count never pairs a hit count with a miss count from a
+        different moment, and never observes a concurrent
+        :meth:`reset_stats` halfway through.
+        """
+        plan_hits, plan_misses = self.plans.stats_snapshot()
+        context_hits, context_misses, context_stats = (
+            self.contexts.stats_snapshot()
+        )
+        worker_hits, worker_misses = self.pool.stats_snapshot()
+        persist_hits, persist_misses, persist_stores = (
+            self.store.stats_snapshot() if self.store else (0, 0, 0)
+        )
         with self._lock:
             return EngineStats(
                 count_calls=self._count_calls,
                 batch_calls=self._batch_calls,
                 sharded_calls=self._sharded_calls,
-                plan_hits=self.plans.hits,
-                plan_misses=self.plans.misses,
-                context_hits=self.contexts.hits,
-                context_misses=self.contexts.misses,
+                plan_hits=plan_hits,
+                plan_misses=plan_misses,
+                context_hits=context_hits,
+                context_misses=context_misses,
                 index_builds=context_stats.index_builds,
                 boundary_memo_hits=context_stats.boundary_hits,
                 boundary_memo_misses=context_stats.boundary_misses,
                 semijoin_eliminations=context_stats.semijoin_eliminations,
                 backtracking_eliminations=context_stats.backtracking_eliminations,
-                worker_context_hits=self.pool.worker_context_hits,
-                worker_context_misses=self.pool.worker_context_misses,
-                persist_hits=self.store.hits if self.store else 0,
-                persist_misses=self.store.misses if self.store else 0,
-                persist_stores=self.store.stores if self.store else 0,
+                worker_context_hits=worker_hits,
+                worker_context_misses=worker_misses,
+                persist_hits=persist_hits,
+                persist_misses=persist_misses,
+                persist_stores=persist_stores,
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),
@@ -384,9 +401,20 @@ class Engine:
         self.plans.clear()
         self.contexts.clear()
 
-    def close(self) -> None:
-        """Shut down the engine's worker pool (caches stay usable)."""
-        self.pool.close()
+    def close(self, terminate: bool = False) -> None:
+        """Shut down the engine's worker pool (caches stay usable).
+
+        Waits for in-flight pool jobs to finish and joins the worker
+        processes, so after ``close()`` returns the engine has no live
+        children; ``terminate=True`` kills them instead of waiting.
+        The engine itself stays usable -- a later parallel call forks a
+        fresh (cold) pool -- which is what lets serving layers release
+        process resources without tearing the caches down.
+        """
+        if terminate:
+            self.pool.terminate()
+        else:
+            self.pool.close()
 
     def __enter__(self) -> "Engine":
         return self
@@ -395,15 +423,17 @@ class Engine:
         self.close()
 
     def reset_stats(self) -> None:
-        """Zero all counters and timings."""
+        """Zero all counters and timings.
+
+        Each component is zeroed under its own lock, so a reset racing
+        live traffic loses at most the increments that landed after its
+        lock was released -- never a torn read or a lost later update.
+        """
         self.plans.reset_stats()
         self.contexts.reset_stats()
-        self.pool.worker_context_hits = 0
-        self.pool.worker_context_misses = 0
+        self.pool.reset_stats()
         if self.store is not None:
-            self.store.hits = 0
-            self.store.misses = 0
-            self.store.stores = 0
+            self.store.reset_stats()
         with self._lock:
             self._compile_seconds = 0.0
             self._execute_seconds = 0.0
@@ -441,17 +471,55 @@ def default_engine() -> Engine:
     return _default_engine
 
 
-def set_default_engine(engine: Engine) -> Engine:
-    """Replace the process-wide default engine; returns the previous one."""
+def set_default_engine(engine: Engine, close_previous: bool = True) -> Engine:
+    """Replace the process-wide default engine; returns the previous one.
+
+    By default the replaced engine's worker pool is shut down (workers
+    joined) on the way out: before this, a swapped-out default engine's
+    child processes lingered until its ``__del__`` GC safety net fired,
+    if ever.  The returned engine stays fully usable -- its pool
+    restarts lazily on the next parallel call -- so callers that swap a
+    previous engine back in (the test pattern) lose nothing but cold
+    workers.  Pass ``close_previous=False`` to keep the replaced
+    engine's workers alive, e.g. when it keeps serving elsewhere.
+    """
     global _default_engine
     with _default_lock:
         previous = _default_engine
         _default_engine = engine
+    if close_previous and previous is not None and previous is not engine:
+        previous.close()
     return previous if previous is not None else engine
 
 
-def reset_default_engine() -> None:
-    """Drop the default engine (a fresh one is created on next use)."""
+def reset_default_engine(close: bool = True) -> None:
+    """Drop the default engine (a fresh one is created on next use).
+
+    ``close`` (the default) shuts the dropped engine's worker pool down
+    instead of leaving the child processes to the GC safety net; pass
+    ``close=False`` only when another owner still uses that engine.
+    """
     global _default_engine
     with _default_lock:
-        _default_engine = None
+        previous, _default_engine = _default_engine, None
+    if close and previous is not None:
+        previous.close()
+
+
+def _close_default_engine_at_exit() -> None:  # pragma: no cover - exit path
+    """Join the default engine's workers before the interpreter dies.
+
+    Without this, a process that used the default engine's parallel
+    paths leaves pool teardown to ``__del__`` during interpreter
+    shutdown, where multiprocessing machinery may already be torn down.
+    """
+    with _default_lock:
+        engine = _default_engine
+    if engine is not None:
+        try:
+            engine.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_default_engine_at_exit)

@@ -145,6 +145,16 @@ class LRUCache(Generic[Key, Value]):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats_snapshot(self) -> tuple[int, int]:
+        """``(hits, misses)`` read together under the cache lock.
+
+        Reading the two attributes separately can observe a hit and its
+        preceding miss from different moments (or race a concurrent
+        :meth:`reset_stats`); stats reporting goes through this.
+        """
+        with self._lock:
+            return self.hits, self.misses
+
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""
         with self._lock:
@@ -266,6 +276,10 @@ class PlanCache:
     def hit_rate(self) -> float:
         return self._cache.hit_rate
 
+    def stats_snapshot(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the plan cache, read coherently."""
+        return self._cache.stats_snapshot()
+
     def __len__(self) -> int:
         return len(self._cache)
 
@@ -323,6 +337,17 @@ class ExecutionContextCache:
     def hit_rate(self) -> float:
         return self._cache.hit_rate
 
+    def stats_snapshot(self) -> tuple[int, int, ContextStats]:
+        """``(hits, misses, context_stats)`` read coherently.
+
+        The hit/miss pair comes from one acquisition of the cache lock
+        and the context counters from one acquisition of the shared
+        sink's lock, so a concurrent ``reset_stats`` never yields a
+        half-zeroed view of either.
+        """
+        hits, misses = self._cache.stats_snapshot()
+        return hits, misses, self.context_stats.snapshot()
+
     def __len__(self) -> int:
         return len(self._cache)
 
@@ -332,9 +357,4 @@ class ExecutionContextCache:
     def reset_stats(self) -> None:
         self._cache.reset_stats()
         # Zero in place: cached contexts hold a reference to this sink.
-        stats = self.context_stats
-        stats.index_builds = 0
-        stats.boundary_hits = 0
-        stats.boundary_misses = 0
-        stats.semijoin_eliminations = 0
-        stats.backtracking_eliminations = 0
+        self.context_stats.reset()

@@ -26,7 +26,8 @@ cheap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.structures.homomorphism import (
@@ -63,6 +64,12 @@ class ContextStats:
     ``boundary_misses`` count lookups of memoized ∃-component boundary
     relations; ``semijoin_eliminations`` / ``backtracking_eliminations``
     count which evaluator served each miss.
+
+    A sink is shared by every context a cache creates and may be
+    updated from many threads at once, so mutation goes through
+    :meth:`bump` (a locked read-modify-write; a bare ``+=`` can lose
+    updates under preemption) and readers take :meth:`snapshot` for a
+    coherent copy; :meth:`reset` zeroes everything under the same lock.
     """
 
     index_builds: int = 0
@@ -70,6 +77,34 @@ class ContextStats:
     boundary_misses: int = 0
     semijoin_eliminations: int = 0
     backtracking_eliminations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        """Atomically add ``by`` to the named counter."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def snapshot(self) -> "ContextStats":
+        """A coherent copy of the counters (its own lock, unshared)."""
+        with self._lock:
+            return ContextStats(
+                index_builds=self.index_builds,
+                boundary_hits=self.boundary_hits,
+                boundary_misses=self.boundary_misses,
+                semijoin_eliminations=self.semijoin_eliminations,
+                backtracking_eliminations=self.backtracking_eliminations,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter, atomically."""
+        with self._lock:
+            self.index_builds = 0
+            self.boundary_hits = 0
+            self.boundary_misses = 0
+            self.semijoin_eliminations = 0
+            self.backtracking_eliminations = 0
 
     def as_dict(self) -> dict:
         return {
@@ -151,7 +186,7 @@ class ExecutionContext:
         """The positional index of the structure (built on first use)."""
         if self._index is None:
             self._index = PositionalIndex(self.structure)
-            self.stats.index_builds += 1
+            self.stats.bump("index_builds")
         return self._index
 
     @property
@@ -169,9 +204,9 @@ class ExecutionContext:
         the boundary assignments that extend to a homomorphism of the
         component into the structure.  Memoized per component."""
         if self.memoize and component in self._boundary_memo:
-            self.stats.boundary_hits += 1
+            self.stats.bump("boundary_hits")
             return self._boundary_memo[component]
-        self.stats.boundary_misses += 1
+        self.stats.bump("boundary_misses")
         relation = self._eliminate(component, _boundary_order(component))
         if self.memoize:
             self._boundary_memo[component] = relation
@@ -180,9 +215,9 @@ class ExecutionContext:
     def component_satisfiable(self, component: "ExistsComponent") -> bool:
         """Does the (boundary-free) component map into the structure?"""
         if self.memoize and component in self._satisfiable_memo:
-            self.stats.boundary_hits += 1
+            self.stats.bump("boundary_hits")
             return self._satisfiable_memo[component]
-        self.stats.boundary_misses += 1
+        self.stats.bump("boundary_misses")
         satisfiable = bool(self._eliminate(component, ()))
         if self.memoize:
             self._satisfiable_memo[component] = satisfiable
@@ -244,9 +279,9 @@ class ExecutionContext:
             except _SemijoinBlowup:
                 relation = None
             if relation is not None:
-                self.stats.semijoin_eliminations += 1
+                self.stats.bump("semijoin_eliminations")
                 return relation
-        self.stats.backtracking_eliminations += 1
+        self.stats.bump("backtracking_eliminations")
         allowed = set()
         for assignment in enumerate_extendable_assignments(
             component.structure, self.structure, boundary, self.index

@@ -174,6 +174,19 @@ class PlanStore:
         with self._lock:
             self.stores += 1
 
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> tuple[int, int, int]:
+        """``(hits, misses, stores)`` read in one lock acquisition."""
+        with self._lock:
+            return self.hits, self.misses, self.stores
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/store counters under the store lock."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.stores = 0
+
     def load_all(self) -> Iterator[tuple]:
         """Iterate ``(key, plan)`` pairs persisted under this version.
 

@@ -272,6 +272,26 @@ class WorkerPool:
         return values
 
     # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> tuple[int, int]:
+        """``(worker_context_hits, worker_context_misses)``, coherently.
+
+        :meth:`map` bumps both counters under ``_lock``; reading the
+        attributes directly can interleave with that (or with
+        :meth:`reset_stats`) and pair a fresh hit count with a stale
+        miss count.  The engine's ``stats()`` goes through here.
+        """
+        with self._lock:
+            return self.worker_context_hits, self.worker_context_misses
+
+    def reset_stats(self) -> None:
+        """Zero the worker-context counters under the pool lock."""
+        with self._lock:
+            self.worker_context_hits = 0
+            self.worker_context_misses = 0
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the current workers down.
 

@@ -1,0 +1,48 @@
+"""The async serving front end over :class:`~repro.engine.api.Engine`.
+
+Two layers, both stdlib-only:
+
+* :mod:`repro.serve.service` -- :class:`CountingService`, the asyncio
+  facade that runs engine calls on a bounded worker budget with
+  admission control (max in-flight + bounded queue, immediate
+  :class:`ServiceSaturated` rejection beyond it) and per-request
+  deadlines (:class:`ServiceTimeout`), recording per-endpoint latency
+  histograms;
+* :mod:`repro.serve.httpd` -- :class:`CountingServer`, the hand-rolled
+  asyncio HTTP server exposing ``/count``, ``/count_many``,
+  ``/count_sharded``, ``/healthz``, and ``/metrics`` as JSON, plus
+  :class:`BackgroundServer` for driving a live server from blocking
+  code (tests, benchmarks, the ``--smoke`` check).
+
+Run one from the command line with ``python -m repro.serve``.
+"""
+
+from repro.serve.httpd import (
+    BackgroundServer,
+    BadRequest,
+    CountingServer,
+    structure_from_json,
+)
+from repro.serve.service import (
+    CountingService,
+    LatencyHistogram,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceError,
+    ServiceSaturated,
+    ServiceTimeout,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "BadRequest",
+    "CountingServer",
+    "CountingService",
+    "LatencyHistogram",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceSaturated",
+    "ServiceTimeout",
+    "structure_from_json",
+]

@@ -1,0 +1,135 @@
+"""Command-line entry point: ``python -m repro.serve``.
+
+Boots a :class:`~repro.serve.httpd.CountingServer` and serves until
+interrupted.  ``--smoke`` instead runs the CI smoke check: bind an
+ephemeral port, serve one ``/count`` and the introspection endpoints
+over a real socket, shut down gracefully, and verify that no worker
+child processes survive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import urllib.request
+
+from repro.engine.api import Engine
+from repro.serve.httpd import BackgroundServer, CountingServer
+from repro.serve.service import CountingService, ServiceConfig
+
+
+def _build_server(args: argparse.Namespace) -> CountingServer:
+    engine = Engine(processes=args.processes)
+    config = ServiceConfig(
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        request_timeout_seconds=args.timeout,
+    )
+    service = CountingService(engine=engine, config=config, owns_engine=True)
+    return CountingServer(service=service, host=args.host, port=args.port)
+
+
+def _smoke(args: argparse.Namespace) -> int:
+    """Boot, serve one /count, shut down clean, verify zero children."""
+    import multiprocessing
+
+    args.port = 0
+    server = _build_server(args)
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+        body = json.dumps(
+            {
+                "query": "exists z. (E(x, z) & E(z, y))",
+                "structure": {"relations": {"E": [[1, 2], [2, 3], [3, 1]]}},
+            }
+        ).encode()
+        request = urllib.request.Request(
+            f"{base}/count",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            count = json.load(response)["count"]
+        if count != 3:
+            print(f"smoke FAILED: /count returned {count}, expected 3")
+            return 1
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+            health = json.load(response)
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
+            metrics = json.load(response)
+        if health["status"] != "ok":
+            print(f"smoke FAILED: /healthz reported {health}")
+            return 1
+        if metrics["service"]["endpoints"]["count"]["completed"] != 1:
+            print(f"smoke FAILED: metrics did not record the request")
+            return 1
+    children = multiprocessing.active_children()
+    if children:
+        print(f"smoke FAILED: live children after shutdown: {children}")
+        return 1
+    print("serve smoke OK: /count == 3, graceful shutdown, zero children")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="engine worker-pool size (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=4,
+        help="concurrently executing requests (sizes the thread budget)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot before 429s start",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds (queueing + execution)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot on an ephemeral port, serve one /count, exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke(args)
+
+    server = _build_server(args)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"repro-serve listening on http://{host}:{port}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

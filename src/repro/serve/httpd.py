@@ -1,0 +1,458 @@
+"""A thin, stdlib-only HTTP front end for :class:`CountingService`.
+
+No web framework: requests are parsed by hand on top of
+``asyncio.start_server`` (HTTP/1.1, JSON bodies, keep-alive), which is
+all a counting service needs and keeps the dependency set empty.
+
+Endpoints
+---------
+``POST /count``
+    ``{"query": "...", "structure": {...}, "strategy"?: "auto"}`` ->
+    ``{"count": N}``.
+``POST /count_many``
+    ``{"queries": [...], "structures": [...], "strategy"?}`` ->
+    ``{"counts": [[...], ...]}`` with ``counts[i][j] = |q_i(B_j)|``.
+``POST /count_sharded``
+    ``{"query", "structure", "shard_count"?, "strategy"?,``
+    ``"shard_strategy"?, "parallel"?}`` -> ``{"count": N}``.
+``GET /healthz``
+    Liveness: status, in-flight gauges, pool state.
+``GET /metrics``
+    The full JSON metrics payload: per-endpoint request counters and
+    latency histograms (p50/p90/p99), plus a coherent
+    :meth:`~repro.engine.api.Engine.stats` snapshot and pool info.
+
+Structures travel as ``{"relations": {name: [[elem, ...], ...]},``
+``"universe"?: [...]}`` (or bare relation mappings); elements are JSON
+scalars.  Saturation maps to ``429`` (with ``Retry-After``), deadline
+misses to ``504``, shutdown to ``503``, malformed input to ``400``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Mapping
+
+from repro.engine.pool import WorkerTaskError
+from repro.exceptions import ReproError
+from repro.serve.service import (
+    CountingService,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceSaturated,
+    ServiceTimeout,
+)
+from repro.structures.structure import Structure
+
+#: Largest accepted request body, in bytes.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: How long an idle keep-alive connection is held open.
+KEEPALIVE_IDLE_SECONDS = 30.0
+
+_SERVER_NAME = "repro-serve"
+
+_STATUS_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(ReproError):
+    """The request body or parameters cannot be interpreted."""
+
+
+# ----------------------------------------------------------------------
+# JSON <-> domain objects
+# ----------------------------------------------------------------------
+def structure_from_json(payload) -> Structure:
+    """Decode the wire form of a structure.
+
+    Accepts ``{"relations": {...}, "universe": [...]}`` or a bare
+    ``{name: [[...], ...]}`` relation mapping.  Tuples arrive as JSON
+    arrays; elements are scalars (ints, strings).
+    """
+    if not isinstance(payload, Mapping):
+        raise BadRequest("structure must be a JSON object")
+    if "relations" in payload:
+        relations = payload["relations"]
+        universe = payload.get("universe")
+    else:
+        relations, universe = payload, None
+    if not isinstance(relations, Mapping):
+        raise BadRequest("structure relations must be an object")
+    decoded = {}
+    for name, tuples in relations.items():
+        if not isinstance(tuples, list):
+            raise BadRequest(f"relation {name!r} must be a list of tuples")
+        rows = []
+        for row in tuples:
+            if not isinstance(row, list):
+                raise BadRequest(f"relation {name!r} contains a non-tuple row")
+            rows.append(tuple(row))
+        decoded[str(name)] = rows
+    try:
+        return Structure.from_relations(decoded, universe=universe)
+    except (ReproError, TypeError) as exc:
+        # TypeError covers unhashable elements (nested arrays etc.) --
+        # still the client's data, still a 400.
+        raise BadRequest(str(exc)) from exc
+
+
+def _require(payload: Mapping, field: str):
+    try:
+        return payload[field]
+    except (KeyError, TypeError):
+        raise BadRequest(f"missing required field {field!r}") from None
+
+
+def _query_from_json(value) -> str:
+    if not isinstance(value, str) or not value.strip():
+        raise BadRequest("query must be a non-empty string")
+    return value
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class CountingServer:
+    """An asyncio HTTP server publishing one :class:`CountingService`.
+
+    Parameters
+    ----------
+    service:
+        The service to publish; when omitted one is created (owning its
+        own engine) from ``engine`` / ``config``.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; the real one
+        is available from :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: CountingService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        engine=None,
+        config: ServiceConfig | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        self.service = (
+            service
+            if service is not None
+            else CountingService(engine=engine, config=config)
+        )
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self._server: asyncio.base_events.Server | None = None
+        self._routes = {
+            "/count": ("POST", self._route_count),
+            "/count_many": ("POST", self._route_count_many),
+            "/count_sharded": ("POST", self._route_count_sharded),
+            "/healthz": ("GET", None),
+            "/metrics": ("GET", None),
+        }
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.port = port
+        return host, port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, then drain and close the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    async def __aenter__(self) -> "CountingServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), KEEPALIVE_IDLE_SECONDS
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                method, path, headers, body, parse_error = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                if parse_error is not None:
+                    status, payload = 400, {"error": parse_error}
+                    keep_alive = False
+                else:
+                    status, payload = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):  # pragma: no cover - client went away mid-request
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One parsed request, ``None`` on EOF, or a parse-error tuple."""
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            # The StreamReader's line limit fired (absurdly long
+            # request line): answer 400 instead of dropping the socket.
+            return "GET", "/", {}, b"", "request line too long"
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("ascii").split()
+        except ValueError:
+            return "GET", "/", {}, b"", "malformed request line"
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                return method, path, headers, b"", "header line too long"
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            # Only Content-Length framing is supported; reading on
+            # would misparse the chunk stream as the next request.
+            return (
+                method, path, headers, b"",
+                "chunked transfer encoding is not supported",
+            )
+        body = b""
+        length_header = headers.get("content-length", "0")
+        try:
+            length = int(length_header)
+        except ValueError:
+            return method, path, headers, b"", "bad Content-Length"
+        if length < 0:
+            return method, path, headers, b"", "bad Content-Length"
+        if length > self.max_body_bytes:
+            return method, path, headers, b"", "request body too large"
+        if length:
+            body = await reader.readexactly(length)
+        return method, path.split("?", 1)[0], headers, body, None
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8") + b"\n"
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_REASONS.get(status, 'Unknown')}",
+            f"Server: {_SERVER_NAME}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if status == 429:
+            head.append("Retry-After: 1")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        if path not in self._routes:
+            return 404, {"error": f"unknown path {path!r}"}
+        expected_method, handler = self._routes[path]
+        if method != expected_method:
+            return 405, {"error": f"{path} expects {expected_method}"}
+        if path == "/healthz":
+            health = self.service.healthz()
+            return (200 if health["status"] == "ok" else 503), health
+        if path == "/metrics":
+            return 200, self.service.metrics()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+            if not isinstance(payload, Mapping):
+                raise BadRequest("request body must be a JSON object")
+            assert handler is not None
+            return 200, await handler(payload)
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        except UnicodeDecodeError:
+            return 400, {"error": "request body must be UTF-8"}
+        except ServiceSaturated as exc:
+            return 429, {"error": str(exc)}
+        except ServiceClosed as exc:
+            return 503, {"error": str(exc)}
+        except ServiceTimeout as exc:
+            return 504, {"error": str(exc)}
+        except WorkerTaskError as exc:
+            # A failure *inside* a pool worker is a server-side problem
+            # with a well-formed request, never the client's fault.
+            return 500, {"error": str(exc)}
+        except ReproError as exc:
+            # Engine-level rejection of well-formed JSON that names an
+            # unparsable query, unknown strategy, bad shard count, ...
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _route_count(self, payload: Mapping) -> dict:
+        count = await self.service.count(
+            _query_from_json(_require(payload, "query")),
+            structure_from_json(_require(payload, "structure")),
+            strategy=str(payload.get("strategy", "auto")),
+        )
+        return {"count": count}
+
+    async def _route_count_many(self, payload: Mapping) -> dict:
+        queries = _require(payload, "queries")
+        structures = _require(payload, "structures")
+        if not isinstance(queries, list) or not queries:
+            raise BadRequest("queries must be a non-empty list")
+        if not isinstance(structures, list) or not structures:
+            raise BadRequest("structures must be a non-empty list")
+        counts = await self.service.count_many(
+            [_query_from_json(q) for q in queries],
+            [structure_from_json(s) for s in structures],
+            strategy=str(payload.get("strategy", "auto")),
+            parallel=payload.get("parallel"),
+        )
+        return {"counts": counts}
+
+    async def _route_count_sharded(self, payload: Mapping) -> dict:
+        shard_count = payload.get("shard_count")
+        if shard_count is not None and not isinstance(shard_count, int):
+            raise BadRequest("shard_count must be an integer")
+        count = await self.service.count_sharded(
+            _query_from_json(_require(payload, "query")),
+            structure_from_json(_require(payload, "structure")),
+            shard_count=shard_count,
+            strategy=str(payload.get("strategy", "auto")),
+            shard_strategy=str(payload.get("shard_strategy", "hash")),
+            parallel=payload.get("parallel"),
+        )
+        return {"count": count}
+
+
+# ----------------------------------------------------------------------
+# Background runner (tests, benchmarks, examples)
+# ----------------------------------------------------------------------
+class BackgroundServer:
+    """Run a :class:`CountingServer` on a dedicated event-loop thread.
+
+    The blocking-world adapter: tests, the benchmark harness, and the
+    ``--smoke`` check talk to a real listening socket while their own
+    thread stays synchronous.  Use as a context manager; ``stop()``
+    performs the full graceful shutdown (drain, close pools) and joins
+    the loop thread.
+    """
+
+    def __init__(self, server: CountingServer):
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):  # pragma: no cover
+            raise ReproError("server failed to start within 30s")
+        if self._startup_error is not None:
+            # Binding failed on the loop thread (port in use, bad
+            # host, ...); fail fast with the real cause instead of a
+            # generic timeout.
+            self._thread.join(timeout=10)
+            self._thread = None
+            raise self._startup_error
+        return self.server.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                self._loop = None
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        loop, self._loop = self._loop, None
+        if loop is None:
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
+            future.result(timeout=60)
+        finally:
+            # Even when the graceful stop failed or timed out, the loop
+            # must still be stopped and the thread joined -- otherwise
+            # the port stays bound forever with no way to retry.
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=30)
+                self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,184 @@
+"""Concurrent engine use: stats coherence and lifecycle hygiene.
+
+The serving layer hammers one :class:`Engine` from many threads while
+scraping ``stats()`` and occasionally zeroing them; these tests pin the
+behaviors that makes that safe -- locked counter snapshots, no lost
+updates -- plus the lifecycle regression that swapping the default
+engine must not leak the previous engine's worker processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from repro.core.counting import count_answers, count_answers_sharded
+from repro.engine.api import (
+    Engine,
+    default_engine,
+    reset_default_engine,
+    set_default_engine,
+)
+from repro.engine.context import ContextStats
+from repro.engine.pool import WorkerPool
+from repro.structures.random_gen import random_graph
+from repro.structures.structure import Structure
+
+PATH_QUERY = "exists z. (E(x, z) & E(z, y))"
+
+
+def two_component_graph() -> Structure:
+    """Two disjoint paths, so sharding produces two real shard jobs."""
+    return Structure.from_relations(
+        {
+            "E": [(i, i + 1) for i in range(10)]
+            + [(i + 100, i + 101) for i in range(10)]
+        }
+    )
+
+
+def test_concurrent_counts_while_stats_and_resets_run():
+    """N threads mixing count/count_many/count_sharded against one
+    engine, racing a stats-scraper and a stats-resetter: every count
+    stays correct and no reader ever crashes or sees torn state."""
+    engine = Engine()
+    structures = [random_graph(5, 0.4, seed=seed) for seed in range(3)]
+    expected = [
+        count_answers(PATH_QUERY, structure, engine=None)
+        for structure in structures
+    ]
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def hammer(worker: int) -> None:
+        try:
+            for round_ in range(8):
+                structure = structures[(worker + round_) % len(structures)]
+                want = expected[(worker + round_) % len(structures)]
+                assert engine.count(PATH_QUERY, structure) == want
+                assert (
+                    engine.count_sharded(
+                        PATH_QUERY, structure, shard_count=2, parallel=False
+                    )
+                    == want
+                )
+                grid = engine.count_many(
+                    [PATH_QUERY], structures, parallel=False
+                )
+                assert grid == [expected]
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def scrape() -> None:
+        try:
+            while not stop.is_set():
+                stats = engine.stats()
+                assert stats.plan_hits >= 0 and stats.plan_misses >= 0
+                assert stats.context_hits >= 0
+                stats.as_dict()  # must always serialize
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def reset() -> None:
+        try:
+            while not stop.is_set():
+                engine.reset_stats()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=hammer, args=(index,)) for index in range(4)
+    ]
+    observers = [
+        threading.Thread(target=scrape),
+        threading.Thread(target=reset),
+    ]
+    for thread in workers + observers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    stop.set()
+    for thread in observers:
+        thread.join()
+    assert not errors
+
+
+def test_context_stats_bump_has_no_lost_updates():
+    """The shared ContextStats sink is a locked read-modify-write: 8
+    threads x 2000 increments land exactly, where a bare ``+=`` loses
+    updates under preemption."""
+    stats = ContextStats()
+
+    def bump() -> None:
+        for _ in range(2000):
+            stats.bump("boundary_hits")
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert stats.snapshot().boundary_hits == 8 * 2000
+
+
+def test_worker_pool_stats_snapshot_and_reset():
+    pool = WorkerPool(processes=1)
+    pool.worker_context_hits = 5
+    pool.worker_context_misses = 2
+    assert pool.stats_snapshot() == (5, 2)
+    pool.reset_stats()
+    assert pool.stats_snapshot() == (0, 0)
+    pool.close()
+
+
+def test_swapping_default_engine_leaves_no_children():
+    """The lifecycle regression: replacing the default engine must shut
+    the previous engine's worker pool down instead of stranding its
+    forked children behind a ``__del__`` safety net."""
+    children_before = set(multiprocessing.active_children())
+    graph = two_component_graph()
+    first = Engine(processes=2)
+    set_default_engine(first)
+    try:
+        # Start the first engine's pool for real (two shard jobs).
+        count_answers_sharded(PATH_QUERY, graph, shard_count=2, parallel=True)
+        assert first.pool.started
+
+        second = Engine(processes=2)
+        set_default_engine(second)
+        # The swap closed (and joined) the previous pool.
+        assert not first.pool.started
+        assert default_engine() is second
+
+        second.count_sharded(PATH_QUERY, graph, shard_count=2, parallel=True)
+        assert second.pool.started
+    finally:
+        reset_default_engine(close=True)
+    assert not set(multiprocessing.active_children()) - children_before
+
+
+def test_reset_default_engine_close_false_keeps_pool():
+    engine = Engine(processes=2)
+    set_default_engine(engine)
+    engine.count_sharded(
+        PATH_QUERY, two_component_graph(), shard_count=2, parallel=True
+    )
+    assert engine.pool.started
+    reset_default_engine(close=False)
+    try:
+        assert engine.pool.started  # still ours to manage
+    finally:
+        engine.close()
+    assert not engine.pool.started
+
+
+def test_transient_sharded_engine_leaves_no_children():
+    """``count_answers_sharded(engine=None)`` builds a throwaway engine;
+    its pool must be torn down before the call returns."""
+    children_before = set(multiprocessing.active_children())
+    graph = two_component_graph()
+    result = count_answers_sharded(
+        PATH_QUERY, graph, shard_count=2, parallel=True, engine=None
+    )
+    assert result == count_answers(PATH_QUERY, graph, engine=None)
+    assert not set(multiprocessing.active_children()) - children_before
