@@ -23,12 +23,17 @@ layers:
   every time) vs. the engine's long-lived resident pool (fork once,
   worker-resident contexts keyed by structure fingerprint).
 
-And one end-to-end serving measurement:
+And two end-to-end serving measurements:
 
 * **serving** -- concurrent client threads mixing ``/count`` and
   ``/count_sharded`` against a live :mod:`repro.serve` HTTP server
   with bounded admission; records client-observed p50/p99 latencies,
-  throughput, and explicit 429 rejection counts.
+  throughput, and explicit 429 rejection counts;
+* **registry_serving** -- the count-by-reference economics on the
+  10^4-tuple clustered structure: sequential ``/count`` requests
+  shipping the whole structure as JSON vs. the same counts via
+  ``{"ref": ...}`` against the registered, pinned entry (target: the
+  ref path wins client-observed p50 by >= 5x).
 
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
@@ -499,6 +504,127 @@ def bench_serving(quick: bool) -> dict:
     }
 
 
+def bench_registry_serving(quick: bool) -> dict:
+    """Ship-the-data ``/count`` vs. count-by-reference on large data.
+
+    The workload the registry exists for: the same cheap query arrives
+    again and again for the same large structure.  The *inline* client
+    re-ships the 10^4-tuple structure as JSON with every request and
+    pays transfer + parse + validation + content hashing server-side;
+    the *ref* client registered the structure once (``PUT
+    /structures/...``, pinned, shard plan precomputed) and sends a
+    few dozen bytes naming it.  Both count through the identical
+    engine path afterwards, so the measured gap is purely the
+    data-shipping overhead the registry removes.  Requests run
+    sequentially on one connection-per-request client, so the p50s are
+    honest single-request latencies, not queueing artifacts.
+    """
+    import json as json_
+    import multiprocessing
+    import urllib.request
+
+    from repro.serve import (
+        BackgroundServer,
+        CountingServer,
+        CountingService,
+        ServiceConfig,
+    )
+
+    clusters, size, p = (8, 10, 0.3) if quick else (60, 16, 0.7)
+    requests_per_mode = 6 if quick else 40
+    structure = random_cluster_graph(clusters, size, p, seed=7)
+    structure_json = {
+        "relations": {
+            name: [list(row) for row in sorted(tuples)]
+            for name, tuples in structure.relations.items()
+        }
+    }
+    query = "E(x, y)"
+    config = ServiceConfig(max_in_flight=4, max_queue=8, request_timeout_seconds=60)
+    server = CountingServer(
+        service=CountingService(config=config, owns_engine=True), port=0
+    )
+
+    def measure(payload: dict, repeats: int) -> tuple[list[float], int]:
+        body = json_.dumps(payload).encode()
+        latencies = []
+        count = None
+        for _ in range(repeats):
+            request = urllib.request.Request(
+                f"{base}/count",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            before = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=60) as response:
+                count = json_.load(response)["count"]
+            latencies.append(time.perf_counter() - before)
+        latencies.sort()
+        assert count is not None
+        return latencies, count
+
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+
+        inline_payload = {"query": query, "structure": structure_json}
+        ref_payload = {"query": query, "structure": {"ref": "bench"}}
+        inline_bytes = len(json_.dumps(inline_payload).encode())
+        ref_bytes = len(json_.dumps(ref_payload).encode())
+
+        register_request = urllib.request.Request(
+            f"{base}/structures/bench",
+            data=json_.dumps(
+                {"structure": structure_json, "pin": True,
+                 "shard_count": clusters}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="PUT",
+        )
+        before = time.perf_counter()
+        with urllib.request.urlopen(register_request, timeout=120) as response:
+            entry = json_.load(response)
+        register_seconds = time.perf_counter() - before
+
+        # One warmup each so neither mode pays first-request one-time
+        # costs (plan compile, context build) inside its sample.
+        measure(inline_payload, 1)
+        measure(ref_payload, 1)
+        inline_latencies, inline_count = measure(
+            inline_payload, requests_per_mode
+        )
+        ref_latencies, ref_count = measure(ref_payload, requests_per_mode)
+        assert inline_count == ref_count
+
+        metrics = json_.loads(
+            urllib.request.urlopen(f"{base}/metrics", timeout=60).read()
+        )
+    lingering = multiprocessing.active_children()
+
+    def p50(latencies: list[float]) -> float:
+        return latencies[len(latencies) // 2]
+
+    inline_p50, ref_p50 = p50(inline_latencies), p50(ref_latencies)
+    return {
+        "query": query,
+        "tuples": structure.total_tuples,
+        "universe": len(structure.universe),
+        "count": ref_count,
+        "requests_per_mode": requests_per_mode,
+        "inline_request_bytes": inline_bytes,
+        "ref_request_bytes": ref_bytes,
+        "register_seconds": register_seconds,
+        "registered_resident_bytes": entry["resident_bytes"],
+        "inline_p50_seconds": inline_p50,
+        "inline_p99_seconds": inline_latencies[-1],
+        "ref_p50_seconds": ref_p50,
+        "ref_p99_seconds": ref_latencies[-1],
+        "ref_speedup_p50": inline_p50 / ref_p50 if ref_p50 else None,
+        "registry_hits": metrics["engine"]["registry_hits"],
+        "lingering_children": len(lingering),
+    }
+
+
 def append_report(
     output: Path, key: str, report: dict, force: bool = False
 ) -> dict:
@@ -591,12 +717,14 @@ def main(argv: list[str] | None = None) -> int:
         "semijoin_memo": bench_semijoin_memo(args.quick),
         "warm_workers": bench_warm_workers(args.quick),
         "serving": bench_serving(args.quick),
+        "registry_serving": bench_registry_serving(args.quick),
     }
     repeated = report["repeated_query"]
     sharded = report["sharded_counting"]
     semijoin = report["semijoin_memo"]
     warm_workers = report["warm_workers"]
     serving = report["serving"]
+    registry_serving = report["registry_serving"]
     report["summary"] = {
         "total_seconds": time.perf_counter() - started,
         "repeated_query_speedup": repeated["speedup"],
@@ -608,6 +736,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm_workers_speedup": warm_workers["speedup"],
         "serving_p99_seconds": serving["latency_p99_seconds"],
         "serving_throughput_rps": serving["throughput_rps"],
+        "registry_serving_speedup_p50": registry_serving["ref_speedup_p50"],
     }
 
     store = append_report(output, run_key, report, force=args.force)
@@ -655,6 +784,15 @@ def main(argv: list[str] | None = None) -> int:
         f"burst of {serving['burst_size']}: "
         f"{serving['burst_rejected_429']} rejected (429); "
         f"{serving['lingering_children']} children after shutdown"
+    )
+    print(
+        f"registry serving ({registry_serving['tuples']} tuples, "
+        f"{registry_serving['requests_per_mode']} requests/mode): "
+        f"inline p50 {_ms(registry_serving['inline_p50_seconds'])} "
+        f"({registry_serving['inline_request_bytes']} B/request) vs "
+        f"ref p50 {_ms(registry_serving['ref_p50_seconds'])} "
+        f"({registry_serving['ref_request_bytes']} B/request), "
+        f"speedup {registry_serving['ref_speedup_p50']:.1f}x"
     )
     return 0
 

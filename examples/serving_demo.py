@@ -6,10 +6,14 @@ plays the three phases of a serving story against it:
 
 1. **correctness** -- ``/count``, ``/count_many``, and
    ``/count_sharded`` agree with the direct engine answer;
-2. **saturation** -- a burst beyond ``max_in_flight + max_queue``
+2. **registration** -- the structure is registered once under a name
+   (``PUT /structures/demo``) and every later request counts by
+   ``{"ref": "demo"}``, shipping zero structure bytes;
+3. **saturation** -- a burst beyond ``max_in_flight + max_queue``
    produces immediate 429 rejections instead of an unbounded queue;
-3. **observability** -- ``/metrics`` shows the per-endpoint request
-   counters and latency percentiles plus the engine's own stats.
+4. **observability** -- ``/metrics`` shows the per-endpoint request
+   counters and latency percentiles, the engine's own stats, and the
+   registry block.
 
 The shutdown is graceful and the demo ends by proving no worker child
 processes survived it.
@@ -36,11 +40,12 @@ TRIANGLE = {"relations": {"E": [[1, 2], [2, 3], [3, 1]]}}
 PATH_QUERY = "exists z. (E(x, z) & E(z, y))"
 
 
-def post(base: str, path: str, payload: dict) -> dict:
+def post(base: str, path: str, payload: dict, method: str = "POST") -> dict:
     request = urllib.request.Request(
         f"{base}{path}",
         data=json.dumps(payload).encode(),
         headers={"Content-Type": "application/json"},
+        method=method,
     )
     with urllib.request.urlopen(request, timeout=30) as response:
         return json.load(response)
@@ -73,7 +78,18 @@ def main() -> None:
         print(f"/count -> {count['count']}, /count_sharded -> {sharded['count']}, "
               f"/count_many -> {grid['counts']}")
 
-        # -- 2. a burst at 3x capacity: overflow rejects, fast --------
+        # -- 2. register once, then count by reference ----------------
+        entry = post(base, "/structures/demo", {"structure": TRIANGLE},
+                     method="PUT")
+        print(f"registered {entry['name']!r}: pinned={entry['pinned']}, "
+              f"~{entry['resident_bytes']} bytes resident")
+        by_ref = post(
+            base, "/count", {"query": PATH_QUERY, "structure": {"ref": "demo"}}
+        )
+        assert by_ref["count"] == count["count"]
+        print(f"/count by ref -> {by_ref['count']} (request shipped no data)")
+
+        # -- 3. a burst at 3x capacity: overflow rejects, fast --------
         results = {"ok": 0, "rejected": 0}
         lock = threading.Lock()
         barrier = threading.Barrier(12)
@@ -97,7 +113,7 @@ def main() -> None:
         print(f"burst of 12: {results['ok']} served, "
               f"{results['rejected']} rejected with 429")
 
-        # -- 3. metrics: service histograms + engine stats ------------
+        # -- 4. metrics: service histograms + engine + registry -------
         with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
             metrics = json.load(response)
         count_stats = metrics["service"]["endpoints"]["count"]
@@ -106,7 +122,12 @@ def main() -> None:
               f"p50 {count_stats['latency']['p50_seconds']}s")
         engine = metrics["engine"]
         print(f"engine: {engine['count_calls']} counts, "
-              f"plan hit rate {engine['plan_hit_rate']:.2f}")
+              f"plan hit rate {engine['plan_hit_rate']:.2f}, "
+              f"registry hits {engine['registry_hits']}")
+        registry = metrics["registry"]
+        print(f"registry: {registry['entries']} entries "
+              f"({registry['pinned_entries']} pinned), "
+              f"~{registry['resident_bytes']} bytes")
 
     children = multiprocessing.active_children()
     print(f"after graceful shutdown: {len(children)} child processes")

@@ -66,13 +66,15 @@ from repro.engine import (
     Engine,
     EngineStats,
     ExecutionContext,
+    StructureRegistry,
+    UnknownStructureError,
     compile_plan,
     count_many,
     default_engine,
     execute_sharded,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ReproError",
@@ -116,6 +118,8 @@ __all__ = [
     "Engine",
     "EngineStats",
     "ExecutionContext",
+    "StructureRegistry",
+    "UnknownStructureError",
     "compile_plan",
     "count_many",
     "default_engine",

@@ -23,6 +23,9 @@ once, cached, and run many times over many structures:
   calls, keyed by structure fingerprint;
 * :mod:`repro.engine.persist` -- :class:`PlanStore`, the versioned
   on-disk plan store that lets fresh processes start warm;
+* :mod:`repro.engine.registry` -- :class:`StructureRegistry`, named
+  resident structures with pinning and LRU eviction, so requests can
+  count against a *reference* instead of shipping data;
 * :mod:`repro.engine.api` -- the :class:`Engine` facade with hit-rate
   and timing statistics, and the process-wide default engine behind
   :func:`repro.core.counting.count_answers`.
@@ -31,6 +34,7 @@ once, cached, and run many times over many structures:
 from repro.engine.api import (
     Engine,
     EngineStats,
+    StructureRef,
     default_engine,
     reset_default_engine,
     set_default_engine,
@@ -46,6 +50,12 @@ from repro.engine.context import ContextStats, ExecutionContext
 from repro.engine.executor import count_many, execute, execute_sharded
 from repro.engine.persist import PlanStore
 from repro.engine.pool import WorkerPool, WorkerTaskError, default_process_count
+from repro.engine.registry import (
+    RegistryEntry,
+    RegistryFull,
+    StructureRegistry,
+    UnknownStructureError,
+)
 from repro.engine.plan import (
     PLAN_KINDS,
     CountingPlan,
@@ -57,6 +67,11 @@ from repro.engine.plan import (
 __all__ = [
     "Engine",
     "EngineStats",
+    "StructureRef",
+    "StructureRegistry",
+    "RegistryEntry",
+    "RegistryFull",
+    "UnknownStructureError",
     "default_engine",
     "reset_default_engine",
     "set_default_engine",

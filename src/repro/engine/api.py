@@ -49,8 +49,18 @@ from repro.engine.executor import (
 from repro.engine.persist import PlanStore
 from repro.engine.plan import CountingPlan, Query
 from repro.engine.pool import DEFAULT_WORKER_CONTEXT_CAPACITY, WorkerPool
+from repro.engine.registry import (
+    DEFAULT_REGISTRY_MAX_BYTES,
+    DEFAULT_REGISTRY_MAX_ENTRIES,
+    RegistryEntry,
+    StructureRegistry,
+)
 from repro.exceptions import ReproError
 from repro.structures.structure import Structure
+
+#: Anywhere the engine takes a structure it also takes the *name* of a
+#: registered one (see :class:`~repro.engine.registry.StructureRegistry`).
+StructureRef = Structure | str
 
 
 @dataclass
@@ -70,6 +80,11 @@ class EngineStats:
     boundary memo instead of rebuilding).  ``persist_hits`` /
     ``persist_misses`` / ``persist_stores`` count on-disk plan-store
     traffic when ``persistent_cache_dir`` is configured.
+    ``registry_hits`` / ``registry_misses`` count name resolutions
+    against the structure registry (a miss raised
+    :class:`~repro.engine.registry.UnknownStructureError`);
+    ``registry_registrations`` / ``registry_evictions`` count
+    ``register_structure`` calls and capacity evictions.
     ``compile_seconds`` is time spent compiling plans,
     ``execute_seconds`` time spent executing them.
     """
@@ -91,6 +106,10 @@ class EngineStats:
     persist_hits: int = 0
     persist_misses: int = 0
     persist_stores: int = 0
+    registry_hits: int = 0
+    registry_misses: int = 0
+    registry_registrations: int = 0
+    registry_evictions: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
     strategies: dict[str, int] = field(default_factory=dict)
@@ -140,6 +159,10 @@ class EngineStats:
             "persist_hits": self.persist_hits,
             "persist_misses": self.persist_misses,
             "persist_stores": self.persist_stores,
+            "registry_hits": self.registry_hits,
+            "registry_misses": self.registry_misses,
+            "registry_registrations": self.registry_registrations,
+            "registry_evictions": self.registry_evictions,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "strategies": dict(self.strategies),
@@ -169,6 +192,16 @@ class Engine:
     worker_context_cache_size:
         How many execution contexts each pool worker keeps resident
         (keyed by structure fingerprint).
+    registry:
+        The :class:`~repro.engine.registry.StructureRegistry` holding
+        named resident structures; when omitted the engine creates one
+        with the two capacity knobs below.  Structures registered
+        through :meth:`register_structure` can then be *named* -- a
+        ``str`` -- anywhere ``count`` / ``count_many`` /
+        ``count_sharded`` accept a structure.
+    registry_max_entries / registry_max_bytes:
+        Capacity of the engine-created registry (ignored when
+        ``registry`` is given).
     """
 
     def __init__(
@@ -179,6 +212,9 @@ class Engine:
         persistent_cache_dir: str | None = None,
         processes: int | None = None,
         worker_context_cache_size: int = DEFAULT_WORKER_CONTEXT_CAPACITY,
+        registry: StructureRegistry | None = None,
+        registry_max_entries: int = DEFAULT_REGISTRY_MAX_ENTRIES,
+        registry_max_bytes: int = DEFAULT_REGISTRY_MAX_BYTES,
     ):
         self.plans = PlanCache(plan_cache_size)
         self.contexts = ExecutionContextCache(context_cache_size)
@@ -187,6 +223,9 @@ class Engine:
             PlanStore(persistent_cache_dir)
             if persistent_cache_dir is not None
             else None
+        )
+        self.registry = registry or StructureRegistry(
+            max_entries=registry_max_entries, max_bytes=registry_max_bytes
         )
         self.pool = WorkerPool(
             processes=processes, context_capacity=worker_context_cache_size
@@ -240,6 +279,125 @@ class Engine:
             written += 1
         return written
 
+    # ------------------------------------------------------------------
+    # Named resident structures: the registry
+    # ------------------------------------------------------------------
+    def register_structure(
+        self,
+        name: str,
+        structure: Structure,
+        pin: bool = True,
+        shard_count: int | None = None,
+    ) -> RegistryEntry:
+        """Make ``structure`` resident under ``name``.
+
+        Registration is where the one-time costs are paid, off the
+        request path: the parent-side execution context is built and
+        materialized, the shard plan is computed (``shard_count``
+        defaults to one shard per CPU) with every fingerprint
+        precomputed, and -- with ``pin=True`` -- the structure *and its
+        shards* are broadcast into every pool worker's pinned context
+        cache, where they are exempt from LRU eviction and survive pool
+        restarts.  Later calls may pass ``name`` wherever a structure
+        is accepted; ``count_sharded`` on the name reuses the
+        registration-time shard plan instead of re-partitioning.
+
+        Re-registering an existing name with *different* data
+        invalidates the retired structure's derived state everywhere:
+        the parent context cache drops it and the workers unpin (and
+        LRU-evict) its fingerprints.  Entries evicted under capacity
+        pressure are cleaned up the same way.  Raises
+        :class:`~repro.engine.registry.RegistryFull` when the capacity
+        cannot be met by evicting unpinned entries.
+        """
+        if not isinstance(structure, Structure):
+            raise ReproError(
+                "register_structure() needs a Structure, not a reference"
+            )
+        resolved_count = (
+            default_process_count() if shard_count is None else shard_count
+        )
+        if resolved_count < 1:
+            raise ReproError("shard_count must be at least 1")
+        context = self.contexts.get(structure).materialize()
+        sharded = context.sharded(resolved_count).precompute_fingerprints()
+        entry, previous, evicted = self.registry.register(
+            name,
+            structure,
+            pin=pin,
+            shard_count=resolved_count,
+            sharded=sharded,
+        )
+        stale = list(evicted)
+        if previous is not None and previous.fingerprint != entry.fingerprint:
+            stale.append(previous)
+        # Collect every fingerprint that must leave the workers into ONE
+        # unpin broadcast -- each broadcast barrier-synchronizes the
+        # whole pool, so K evictions must not cost K stalls.
+        drop: dict = {}  # ordered fingerprint set
+        for retired in stale:
+            for fingerprint in self._entry_fingerprints(retired):
+                drop[fingerprint] = True
+            self.contexts.invalidate(retired.structure)
+        keep = {entry.fingerprint}
+        keep.update(s.fingerprint() for s in sharded.non_empty_shards())
+        if previous is not None and previous.fingerprint == entry.fingerprint:
+            if previous.sharded is not None:
+                # Same data re-registered with a different shard plan:
+                # the old plan's shard contexts would otherwise stay
+                # pinned (and be rebuilt on pool restarts) forever.
+                for fingerprint in self._entry_fingerprints(previous):
+                    if fingerprint not in keep:
+                        drop[fingerprint] = True
+            if previous.pinned and not pin:
+                # Dropping the pin on the same data: release the
+                # workers' guarantee (the LRU may still keep it warm).
+                for fingerprint in keep:
+                    drop[fingerprint] = True
+        drop = {f: True for f in drop if not (pin and f in keep)}
+        if drop:
+            self.pool.unpin_structures(tuple(drop))
+        if pin:
+            self.pool.pin_structures(
+                (structure,) + sharded.non_empty_shards()
+            )
+        return entry
+
+    def unregister_structure(self, name: str) -> bool:
+        """Drop the registered structure ``name``; ``False`` if unknown.
+
+        Unpins its fingerprints (whole structure and shards) from every
+        worker and invalidates the parent-side context, so nothing
+        keeps the retired data resident.
+        """
+        entry = self.registry.unregister(name)
+        if entry is None:
+            return False
+        self._forget_entry(entry)
+        return True
+
+    def resolve_structure(self, structure: StructureRef) -> Structure:
+        """``structure`` itself, or the registered structure it names."""
+        if isinstance(structure, str):
+            return self.registry.resolve(structure)
+        return structure
+
+    @staticmethod
+    def _entry_fingerprints(entry: RegistryEntry) -> list[tuple]:
+        """Every fingerprint a registry entry put into the workers."""
+        fingerprints = [entry.fingerprint]
+        if entry.sharded is not None:
+            fingerprints.extend(
+                shard.fingerprint()
+                for shard in entry.sharded.non_empty_shards()
+            )
+        return fingerprints
+
+    def _forget_entry(self, entry: RegistryEntry) -> None:
+        """Invalidate every trace of a retired registry entry."""
+        self.pool.unpin_structures(self._entry_fingerprints(entry))
+        self.contexts.invalidate(entry.structure)
+
     def _context_for(self, plan: CountingPlan, structure: Structure):
         # The baseline kinds never consult a context; don't build (or
         # pin in the LRU) one for them.
@@ -247,8 +405,16 @@ class Engine:
             return self.contexts.get(structure)
         return None
 
-    def count(self, query: Query, structure: Structure, strategy: str = "auto") -> int:
-        """Count ``|query(structure)|`` through the plan cache."""
+    def count(
+        self, query: Query, structure: StructureRef, strategy: str = "auto"
+    ) -> int:
+        """Count ``|query(structure)|`` through the plan cache.
+
+        ``structure`` may be the *name* of a registered structure; the
+        request then carries no data at all and executes against the
+        resident entry.
+        """
+        structure = self.resolve_structure(structure)
         plan = self.compile(query, strategy)
         context = self._context_for(plan, structure)
         before = time.perf_counter()
@@ -262,7 +428,7 @@ class Engine:
     def count_sharded(
         self,
         query: Query,
-        structure: Structure,
+        structure: StructureRef,
         shard_count: int | None = None,
         strategy: str = "auto",
         shard_strategy: str = "hash",
@@ -280,6 +446,13 @@ class Engine:
         per-shard results are combined exactly.  Returns precisely what
         :meth:`count` returns.
 
+        ``structure`` may be a registered structure's *name*: the call
+        then ships no data, defaults ``shard_count`` to the
+        registration-time value, and reuses the shard plan computed at
+        registration -- no partitioning happens on the request path at
+        all (for pinned entries the per-shard contexts are already
+        resident in every worker, too).
+
         ``shard_count`` below one is an error (it used to silently fall
         back to the CPU default), and ``sharded_calls`` counts only
         genuinely sharded executions: the baseline plan kinds run
@@ -287,15 +460,31 @@ class Engine:
         """
         if shard_count is not None and shard_count < 1:
             raise ReproError("shard_count must be at least 1")
+        entry = None
+        if isinstance(structure, str):
+            entry = self.registry.entry(structure)
+            structure = entry.structure
+            if shard_count is None:
+                shard_count = entry.shard_count
         plan = self.compile(query, strategy)
         before = time.perf_counter()
         sharded_execution = plan.kind in _CONTEXT_KINDS
         if sharded_execution:
-            context = self.contexts.get(structure)
-            sharded = context.sharded(
-                default_process_count() if shard_count is None else shard_count,
-                shard_strategy,
-            )
+            if (
+                entry is not None
+                and entry.sharded is not None
+                and shard_count == entry.shard_count
+                and shard_strategy == entry.sharded.strategy
+            ):
+                sharded = entry.sharded
+            else:
+                context = self.contexts.get(structure)
+                sharded = context.sharded(
+                    default_process_count()
+                    if shard_count is None
+                    else shard_count,
+                    shard_strategy,
+                )
             result = execute_sharded(
                 plan,
                 sharded,
@@ -316,7 +505,7 @@ class Engine:
     def count_many(
         self,
         queries: Sequence[Query],
-        structures: Sequence[Structure],
+        structures: Sequence[StructureRef],
         strategy: str = "auto",
         parallel: bool | None = None,
         processes: int | None = None,
@@ -326,8 +515,10 @@ class Engine:
         Plans come from (and warm) the engine's plan cache; the parallel
         path ships the compiled plans to a process pool in
         structure-major blocks, the sequential path shares the engine's
-        execution contexts.
+        execution contexts.  Any item of ``structures`` may be the name
+        of a registered structure.
         """
+        structures = [self.resolve_structure(s) for s in structures]
         plans = [self.compile(q, strategy) for q in queries]
         before = time.perf_counter()
         result = _count_many(
@@ -368,6 +559,9 @@ class Engine:
         persist_hits, persist_misses, persist_stores = (
             self.store.stats_snapshot() if self.store else (0, 0, 0)
         )
+        registry_hits, registry_misses, registrations, evictions = (
+            self.registry.stats_snapshot()
+        )
         with self._lock:
             return EngineStats(
                 count_calls=self._count_calls,
@@ -387,6 +581,10 @@ class Engine:
                 persist_hits=persist_hits,
                 persist_misses=persist_misses,
                 persist_stores=persist_stores,
+                registry_hits=registry_hits,
+                registry_misses=registry_misses,
+                registry_registrations=registrations,
+                registry_evictions=evictions,
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),
@@ -396,7 +594,12 @@ class Engine:
         """Drop all cached plans and contexts (a "cold" engine again).
 
         The persistent plan store (if any) is left untouched; use
-        ``engine.store.clear()`` to wipe it too.
+        ``engine.store.clear()`` to wipe it too.  The structure
+        registry also survives: registered entries are *state*, not
+        cache -- their names keep resolving, their pinned worker
+        contexts stay resident, and their shard plans remain on the
+        entries (only the parent-side contexts are rebuilt lazily).
+        Use :meth:`unregister_structure` to actually drop one.
         """
         self.plans.clear()
         self.contexts.clear()
@@ -432,6 +635,7 @@ class Engine:
         self.plans.reset_stats()
         self.contexts.reset_stats()
         self.pool.reset_stats()
+        self.registry.reset_stats()
         if self.store is not None:
             self.store.reset_stats()
         with self._lock:

@@ -118,6 +118,16 @@ class LRUCache(Generic[Key, Value]):
         flight.event.set()
         return value
 
+    def pop(self, key: Key) -> Value | None:
+        """Remove and return the entry for ``key`` (``None`` if absent).
+
+        Statistics are untouched: an invalidation is neither a hit nor
+        a miss.  Used when derived state goes stale -- above all when a
+        registered structure is replaced under the same name.
+        """
+        with self._lock:
+            return self._data.pop(key, None)
+
     def put(self, key: Key, value: Value) -> None:
         """Insert ``value`` directly (used when warming from disk)."""
         with self._lock:
@@ -324,6 +334,16 @@ class ExecutionContextCache:
             structure,
             lambda: ExecutionContext(structure, stats=self.context_stats),
         )
+
+    def invalidate(self, structure: Structure) -> bool:
+        """Drop the cached context for ``structure``, if any.
+
+        The registry calls this when a name is unregistered or
+        re-registered with different data, so the parent-side context
+        (index, boundary memos, cached shard partitions) of the retired
+        structure stops occupying cache capacity.
+        """
+        return self._cache.pop(structure) is not None
 
     @property
     def hits(self) -> int:

@@ -196,6 +196,20 @@ class ExecutionContext:
             self._domain = tuple(sorted(self.structure.universe, key=repr))
         return self._domain
 
+    def materialize(self) -> "ExecutionContext":
+        """Build the lazy data-derived state (index, domain) eagerly.
+
+        The lazy defaults are right for throwaway contexts, but a
+        context being *pinned* (worker-resident for a registered
+        structure; see :mod:`repro.engine.registry`) should pay its
+        materialization at pin time, off the request path, so the first
+        post-pin count is as warm as every later one.  Idempotent;
+        returns ``self`` for chaining.
+        """
+        self.index  # noqa: B018 - property access builds the index
+        self.domain  # noqa: B018
+        return self
+
     # ------------------------------------------------------------------
     # ∃-component elimination
     # ------------------------------------------------------------------

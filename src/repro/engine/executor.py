@@ -102,6 +102,15 @@ def execute(
     throwaway context is created for the plan kinds that use one, so the
     memo is still shared across all inclusion-exclusion terms of a
     single ``ep-plus`` execution.
+
+    Counting runs through :meth:`ExecutionContext.count_plan`, whose
+    per-(plan, structure) memo makes a *repeated* identical execution
+    against a long-lived context (the engine's context cache, and above
+    all the worker-resident contexts of pinned registered structures) a
+    dictionary lookup -- the same warm-start the shard path has had
+    since the worker pool, now on the plain path too.  ``ep-plus``
+    plans memoize per *term*, so terms shared between plans reuse each
+    other's counts.
     """
     if plan.kind == "naive":
         return count_answers_naive(plan.query, structure)
@@ -113,7 +122,7 @@ def execute(
         raise ReproError("execution context was built for a different structure")
     if plan.kind == "pp-fpt":
         assert plan.pp is not None
-        return execute_pp_plan(plan.pp, structure, context)
+        return context.count_plan(plan.pp)
     if plan.kind == "ep-plus":
         # The forward direction of Theorem 3.1, on precompiled parts:
         # a true sentence disjunct short-circuits to |B| ** |V|; otherwise
@@ -123,9 +132,7 @@ def execute(
                 return len(structure.universe) ** plan.liberal_count
         total = 0
         for term in plan.terms:
-            total += term.coefficient * execute_pp_plan(
-                term.plan, structure, context
-            )
+            total += term.coefficient * context.count_plan(term.plan)
         return total
     raise ReproError(f"unknown plan kind {plan.kind!r}")
 

@@ -24,6 +24,17 @@ Each task result reports whether the worker's context cache hit, which
 the pool aggregates into :attr:`WorkerPool.worker_context_hits` /
 ``worker_context_misses`` -- the engine surfaces them as stats.
 
+On top of the incidental LRU residency there is **guaranteed**
+residency: :meth:`WorkerPool.pin_structures` broadcasts a build-and-pin
+task to *every* worker (synchronized through a barrier so no worker can
+serve two broadcast jobs), and pinned contexts live outside the LRU --
+they are never evicted by capacity pressure and survive until
+explicitly unpinned.  The pin set is also recorded parent-side, so a
+pool that is closed and lazily restarted re-pins everything in its
+worker initializer.  This is what makes a registered structure's
+residency a contract instead of a cache heuristic: see
+:mod:`repro.engine.registry`.
+
 Error handling is split in two, which is what lets genuine counting
 bugs propagate instead of being masked by the sequential fallback:
 
@@ -42,6 +53,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.exceptions import ReproError
 from repro.structures.structure import Structure
@@ -107,25 +119,49 @@ def _wrap_failure(exc: BaseException) -> _TaskFailure:
 # ----------------------------------------------------------------------
 _worker_contexts: OrderedDict | None = None
 _worker_capacity: int = DEFAULT_WORKER_CONTEXT_CAPACITY
+#: Pinned contexts, outside the LRU: fingerprint -> ExecutionContext.
+_worker_pinned: dict | None = None
 
 
-def _init_worker(capacity: int) -> None:
-    """Pool initializer: give this worker an empty resident cache."""
-    global _worker_contexts, _worker_capacity
+def _init_worker(capacity: int, pinned: tuple[Structure, ...] = ()) -> None:
+    """Pool initializer: empty LRU plus eagerly built pinned contexts.
+
+    ``pinned`` is the parent-side pin set at pool (re)creation time, so
+    a pool that was closed and lazily restarted comes back with every
+    registered structure's context already materialized -- pinning
+    survives pool restarts, not just individual calls.
+    """
+    global _worker_contexts, _worker_capacity, _worker_pinned
+    from repro.engine.context import ExecutionContext
+
     _worker_contexts = OrderedDict()
     _worker_capacity = max(1, capacity)
+    _worker_pinned = {}
+    for structure in pinned:
+        context = ExecutionContext(structure)
+        context.materialize()
+        _worker_pinned[structure.fingerprint()] = context
 
 
 def _resident_context(structure: Structure):
-    """``(context, hit)`` from this worker's fingerprint-keyed cache."""
-    global _worker_contexts
+    """``(context, hit)`` from this worker's fingerprint-keyed caches.
+
+    Pinned contexts are consulted first; they never count against (or
+    get evicted by) the LRU capacity.
+    """
+    global _worker_contexts, _worker_pinned
     from repro.engine.context import ExecutionContext
 
     if _worker_contexts is None:
         # Running without the initializer (e.g. the in-process tests
         # call the task functions directly): behave as a cold cache.
         _worker_contexts = OrderedDict()
+    if _worker_pinned is None:
+        _worker_pinned = {}
     key = structure.fingerprint()
+    context = _worker_pinned.get(key)
+    if context is not None:
+        return context, True
     context = _worker_contexts.get(key)
     if context is not None:
         _worker_contexts.move_to_end(key)
@@ -135,6 +171,97 @@ def _resident_context(structure: Structure):
     while len(_worker_contexts) > _worker_capacity:
         _worker_contexts.popitem(last=False)
     return context, False
+
+
+# ----------------------------------------------------------------------
+# Broadcast tasks (one execution per worker, barrier-synchronized)
+# ----------------------------------------------------------------------
+def _await_broadcast_barrier(barrier, timeout: float) -> None:
+    """Hold this worker at the barrier until every worker has a job.
+
+    The barrier is what turns ``pool.map`` into a broadcast: with
+    exactly ``processes`` jobs queued and every job blocking until all
+    of them are running, no worker can serve two.  A broken barrier
+    (a worker stuck in a long count past ``timeout``) degrades
+    gracefully: the remaining jobs still run -- possibly unevenly
+    distributed -- and the parent-side pin set plus the per-job LRU
+    keep correctness unaffected.
+    """
+    if barrier is None:
+        return
+    try:
+        barrier.wait(timeout)
+    except Exception:  # threading.BrokenBarrierError, proxy errors
+        pass
+
+
+def pin_structures_task(job) -> _TaskOk | _TaskFailure:
+    """Build and pin the contexts of ``structures`` in this worker.
+
+    ``job = (structures, barrier, timeout)``.  Pinning is idempotent;
+    an existing LRU entry for the same fingerprint is promoted instead
+    of being rebuilt.  Contexts are *materialized* (positional index
+    built eagerly), so the first post-pin count starts warm.
+    """
+    structures, barrier, timeout = job
+    try:
+        from repro.engine.context import ExecutionContext
+
+        global _worker_contexts, _worker_pinned
+        if _worker_pinned is None:
+            _worker_pinned = {}
+        _await_broadcast_barrier(barrier, timeout)
+        pinned = 0
+        for structure in structures:
+            key = structure.fingerprint()
+            context = _worker_pinned.get(key)
+            if context is None and _worker_contexts is not None:
+                context = _worker_contexts.pop(key, None)
+            if context is None:
+                context = ExecutionContext(structure)
+            context.materialize()
+            _worker_pinned[key] = context
+            pinned += 1
+        return _TaskOk(pinned)
+    except Exception as exc:
+        return _wrap_failure(exc)
+
+
+def unpin_structures_task(job) -> _TaskOk | _TaskFailure:
+    """Drop pinned *and* LRU contexts for ``fingerprints`` in this worker.
+
+    ``job = (fingerprints, barrier, timeout)``.  Used on unregister and
+    on re-registration under the same name with different data, so a
+    stale context can never serve a fingerprint that no longer matches
+    anything the parent will ship.
+    """
+    fingerprints, barrier, timeout = job
+    try:
+        global _worker_contexts, _worker_pinned
+        _await_broadcast_barrier(barrier, timeout)
+        dropped = 0
+        for key in fingerprints:
+            if _worker_pinned is not None and _worker_pinned.pop(key, None):
+                dropped += 1
+            if _worker_contexts is not None and _worker_contexts.pop(key, None):
+                dropped += 1
+        return _TaskOk(dropped)
+    except Exception as exc:
+        return _wrap_failure(exc)
+
+
+def pinned_fingerprints_task(job) -> _TaskOk | _TaskFailure:
+    """Introspection: this worker's pinned fingerprint keys.
+
+    ``job = ((), barrier, timeout)``; used by tests and diagnostics to
+    observe the per-worker pin state.
+    """
+    _, barrier, timeout = job
+    try:
+        _await_broadcast_barrier(barrier, timeout)
+        return _TaskOk(tuple(_worker_pinned or ()))
+    except Exception as exc:
+        return _wrap_failure(exc)
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +335,10 @@ class WorkerPool:
     :meth:`close` shuts the workers down.
     """
 
+    #: How long a broadcast waits for every worker to pick up its job
+    #: before degrading to best-effort distribution.
+    BROADCAST_BARRIER_TIMEOUT = 60.0
+
     def __init__(
         self,
         processes: int | None = None,
@@ -218,9 +349,12 @@ class WorkerPool:
         self.processes = processes or default_process_count()
         self.context_capacity = context_capacity
         self._pool = None
+        self._manager = None
         self._lock = threading.Lock()
+        self._pinned: OrderedDict[tuple, Structure] = OrderedDict()
         self.worker_context_hits = 0
         self.worker_context_misses = 0
+        self.pin_broadcasts = 0
 
     # ------------------------------------------------------------------
     def _ensure_pool(self):
@@ -238,9 +372,29 @@ class WorkerPool:
                 self._pool = mp_context.Pool(
                     processes=self.processes,
                     initializer=_init_worker,
-                    initargs=(self.context_capacity,),
+                    initargs=(
+                        self.context_capacity,
+                        tuple(self._pinned.values()),
+                    ),
                 )
             return self._pool
+
+    def _ensure_manager(self):
+        """The SyncManager whose barrier proxies coordinate broadcasts.
+
+        Plain ``multiprocessing`` synchronization primitives can only be
+        *inherited* by workers, not shipped through the pool's task
+        queue; manager proxies are picklable, which is what lets a
+        barrier reach workers forked long before the broadcast.  Created
+        lazily (one extra helper process) on the first broadcast against
+        a live pool and shut down with the pool.
+        """
+        with self._lock:
+            if self._manager is None:
+                import multiprocessing
+
+                self._manager = multiprocessing.Manager()
+            return self._manager
 
     @property
     def started(self) -> bool:
@@ -272,6 +426,81 @@ class WorkerPool:
         return values
 
     # ------------------------------------------------------------------
+    # Broadcasts: structure pinning
+    # ------------------------------------------------------------------
+    def broadcast(self, task, payload) -> list:
+        """Run ``task((payload, barrier, timeout))`` once on every worker.
+
+        Queues exactly ``processes`` single-job chunks, each holding at
+        a shared barrier until all of them are running, so every worker
+        serves exactly one.  Requires a started pool; callers that only
+        want the *recorded* effect (the pin set) when the pool is cold
+        check :attr:`started` first.  Returns the per-worker values;
+        worker-side failures raise :class:`WorkerTaskError` exactly
+        like :meth:`map`.
+        """
+        pool = self._ensure_pool()
+        barrier = self._ensure_manager().Barrier(self.processes)
+        job = (payload, barrier, self.BROADCAST_BARRIER_TIMEOUT)
+        raw = pool.map(task, [job] * self.processes, chunksize=1)
+        values = []
+        for item in raw:
+            if isinstance(item, _TaskFailure):
+                raise WorkerTaskError(item.exception)
+            values.append(item.value)
+        return values
+
+    def pin_structures(self, structures: Sequence[Structure]) -> int:
+        """Pin ``structures`` resident in every worker (and future ones).
+
+        The pin set is recorded parent-side first, so workers forked
+        later (a lazily restarted pool) rebuild it in their
+        initializer; a live pool additionally gets a broadcast that
+        builds and materializes the contexts right now.  Returns the
+        number of live workers that confirmed the pin (0 when the pool
+        has not started -- the pin still holds, deferred to start-up).
+        """
+        structures = tuple(structures)
+        with self._lock:
+            for structure in structures:
+                self._pinned[structure.fingerprint()] = structure
+        if not self.started:
+            return 0
+        confirmations = self.broadcast(pin_structures_task, structures)
+        with self._lock:
+            self.pin_broadcasts += 1
+        return len(confirmations)
+
+    def unpin_structures(self, fingerprints: Sequence[tuple]) -> int:
+        """Drop pinned fingerprints parent-side and in every live worker.
+
+        Also evicts matching entries from the workers' LRU caches, so a
+        re-registration under the same name with different data can
+        never be served by a stale context.
+        """
+        fingerprints = tuple(fingerprints)
+        with self._lock:
+            for fingerprint in fingerprints:
+                self._pinned.pop(fingerprint, None)
+        if not self.started:
+            return 0
+        confirmations = self.broadcast(unpin_structures_task, fingerprints)
+        with self._lock:
+            self.pin_broadcasts += 1
+        return len(confirmations)
+
+    def pinned_fingerprints(self) -> tuple[tuple, ...]:
+        """The parent-side pin set (what a restarted pool would rebuild)."""
+        with self._lock:
+            return tuple(self._pinned)
+
+    def worker_pinned_fingerprints(self) -> list[tuple[tuple, ...]]:
+        """Per-worker pinned fingerprints, observed live (diagnostics)."""
+        if not self.started:
+            return []
+        return self.broadcast(pinned_fingerprints_task, ())
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def stats_snapshot(self) -> tuple[int, int]:
@@ -296,23 +525,29 @@ class WorkerPool:
         """Shut the current workers down.
 
         The ``WorkerPool`` object stays usable: a later :meth:`map`
-        starts a fresh (cold) set of workers, which is what lets an
-        :class:`~repro.engine.api.Engine` free its pool resources
-        without becoming unusable.
+        starts a fresh set of workers -- cold caches, but with every
+        pinned structure rebuilt by the initializer, so pinning is a
+        property of the pool, not of one generation of workers.
         """
         with self._lock:
             pool, self._pool = self._pool, None
+            manager, self._manager = self._manager, None
         if pool is not None:
             pool.close()
             pool.join()
+        if manager is not None:
+            manager.shutdown()
 
     def terminate(self) -> None:
         """Kill the workers immediately."""
         with self._lock:
             pool, self._pool = self._pool, None
+            manager, self._manager = self._manager, None
         if pool is not None:
             pool.terminate()
             pool.join()
+        if manager is not None:
+            manager.shutdown()
 
     def __enter__(self) -> "WorkerPool":
         return self

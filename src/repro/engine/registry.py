@@ -1,0 +1,347 @@
+"""Named resident structures: the registry behind count-by-reference.
+
+Serving workloads look like "millions of queries against a handful of
+large, slowly-changing databases".  Shipping the database JSON with
+every request wastes exactly the warm-start machinery the engine has
+(worker-resident execution contexts, cached shard plans): the bytes
+travel, get parsed, get validated, and get hashed on every call just to
+rediscover state the server already holds.
+
+:class:`StructureRegistry` is the fix: structures are **registered
+once** under a client-chosen name and later requests *refer* to them.
+The registry keys entries by name, remembers each entry's
+process-stable :meth:`~repro.structures.structure.Structure.fingerprint`
+(so a re-registration under the same name with different data is
+detectable and stale derived state can be invalidated), tracks
+approximate resident bytes, and enforces capacity limits -- entry count
+and total bytes -- by evicting the least recently *resolved* unpinned
+entries.  Pinned entries are never evicted and never dropped by
+:meth:`~repro.engine.api.Engine.clear_caches`; registering more pinned
+data than the configured capacity is an error (:class:`RegistryFull`),
+never a silent eviction.
+
+The registry itself is engine-agnostic bookkeeping; the interesting
+wiring lives in :class:`~repro.engine.api.Engine.register_structure`,
+which additionally precomputes the shard plan and broadcasts the
+structure (and its shards) into every pool worker's pinned context
+cache, and in :mod:`repro.serve.httpd`, which exposes the whole thing
+as ``PUT/GET/DELETE /structures/<name>`` plus the
+``{"structure": {"ref": "<name>"}}`` request form.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+from repro.structures.structure import Structure
+
+#: Default maximum number of registered structures.
+DEFAULT_REGISTRY_MAX_ENTRIES = 64
+
+#: Default cap on the summed approximate resident bytes (256 MiB).
+DEFAULT_REGISTRY_MAX_BYTES = 256 * 1024 * 1024
+
+#: Longest accepted structure name.
+MAX_STRUCTURE_NAME_LENGTH = 200
+
+
+class UnknownStructureError(ReproError):
+    """A structure reference names nothing in the registry.
+
+    The HTTP layer maps this to ``404 Not Found``.
+    """
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        super().__init__(f"no registered structure named {name!r}")
+
+
+class RegistryFull(ReproError):
+    """Capacity is exhausted and every resident entry is pinned."""
+
+
+def validate_structure_name(name: str) -> str:
+    """A registry name: non-empty printable text without ``/``."""
+    if not isinstance(name, str) or not name:
+        raise ReproError("structure name must be a non-empty string")
+    if len(name) > MAX_STRUCTURE_NAME_LENGTH:
+        raise ReproError(
+            f"structure name exceeds {MAX_STRUCTURE_NAME_LENGTH} characters"
+        )
+    if "/" in name or any(ord(c) < 0x20 or ord(c) == 0x7F for c in name):
+        raise ReproError(
+            "structure name must not contain '/' or control characters"
+        )
+    return name
+
+
+def approximate_structure_bytes(structure: Structure) -> int:
+    """A deterministic estimate of a structure's resident footprint.
+
+    Sums ``sys.getsizeof`` over the universe, the relation containers,
+    and every tuple (counting each tuple's element slots, not the
+    elements themselves twice).  This is an *estimate* for capacity
+    accounting, not an exact heap measurement -- shared elements and the
+    derived execution-context state (positional index, boundary memos,
+    shard plans) are outside it -- but it is stable across runs and
+    monotone in the data size, which is what an eviction policy needs.
+    """
+    total = sys.getsizeof(structure.universe)
+    for element in structure.universe:
+        total += sys.getsizeof(element)
+    for tuples in structure.relations.values():
+        total += sys.getsizeof(tuples)
+        for t in tuples:
+            total += sys.getsizeof(t)
+    return total
+
+
+@dataclass
+class RegistryEntry:
+    """One named resident structure plus its per-entry statistics.
+
+    ``registrations`` counts how many times this name was (re)registered,
+    ``hits`` how many times a request resolved it.  ``sharded`` is the
+    shard plan precomputed at registration time (when the engine did the
+    registering), so ``count_sharded`` on the name never re-partitions.
+    """
+
+    name: str
+    structure: Structure
+    fingerprint: tuple
+    pinned: bool
+    resident_bytes: int
+    shard_count: int | None = None
+    sharded: object | None = None  # ShardedStructure, kept untyped to avoid a cycle
+    registrations: int = 1
+    hits: int = 0
+    registered_at: float = field(default_factory=time.time)
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly view (metadata only, never the data itself)."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint[2],
+            "universe_size": self.fingerprint[0],
+            "relations": {
+                relation: count for relation, _, count in self.fingerprint[1]
+            },
+            "pinned": self.pinned,
+            "resident_bytes": self.resident_bytes,
+            "shard_count": self.shard_count,
+            "registrations": self.registrations,
+            "hits": self.hits,
+            "registered_at": self.registered_at,
+        }
+
+
+class StructureRegistry:
+    """Named structures with LRU eviction of unpinned entries.
+
+    Parameters
+    ----------
+    max_entries:
+        How many structures may be resident at once.
+    max_bytes:
+        Cap on the summed approximate resident bytes.
+
+    Thread-safe; recency is bumped by :meth:`resolve` / :meth:`entry`,
+    so the entries evicted under pressure are the least recently
+    *used*, not the least recently registered.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_REGISTRY_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_REGISTRY_MAX_BYTES,
+    ):
+        if max_entries < 1:
+            raise ReproError("registry max_entries must be at least 1")
+        if max_bytes < 1:
+            raise ReproError("registry max_bytes must be at least 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._registrations = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        structure: Structure,
+        pin: bool = True,
+        shard_count: int | None = None,
+        sharded: object | None = None,
+    ) -> tuple[RegistryEntry, RegistryEntry | None, list[RegistryEntry]]:
+        """Insert (or replace) the entry for ``name``.
+
+        Returns ``(entry, previous, evicted)``: the live entry, the
+        replaced same-name entry if any (its fingerprint tells the
+        caller whether worker-resident state went stale), and the
+        entries evicted to make room.  Raises :class:`RegistryFull`
+        when the capacity cannot be met by evicting unpinned entries.
+        """
+        validate_structure_name(name)
+        resident_bytes = approximate_structure_bytes(structure)
+        if resident_bytes > self.max_bytes:
+            raise RegistryFull(
+                f"structure {name!r} (~{resident_bytes} bytes) exceeds the "
+                f"registry byte capacity ({self.max_bytes})"
+            )
+        fingerprint = structure.fingerprint()
+        with self._lock:
+            previous = self._entries.pop(name, None)
+            entry = RegistryEntry(
+                name=name,
+                structure=structure,
+                fingerprint=fingerprint,
+                pinned=pin,
+                resident_bytes=resident_bytes,
+                shard_count=shard_count,
+                sharded=sharded,
+                registrations=(previous.registrations + 1) if previous else 1,
+                hits=previous.hits if previous else 0,
+            )
+            try:
+                evicted = self._make_room(entry)
+            except RegistryFull:
+                # A failed re-registration must not lose the entry it
+                # would have replaced: the old data keeps serving.
+                if previous is not None:
+                    self._entries[name] = previous
+                raise
+            self._entries[name] = entry
+            self._registrations += 1
+            self._evictions += len(evicted)
+        return entry, previous, evicted
+
+    def _make_room(self, incoming: RegistryEntry) -> list[RegistryEntry]:
+        """Evict LRU unpinned entries until ``incoming`` fits (lock held)."""
+        evicted: list[RegistryEntry] = []
+
+        def over_capacity() -> bool:
+            total = sum(e.resident_bytes for e in self._entries.values())
+            return (
+                len(self._entries) + 1 > self.max_entries
+                or total + incoming.resident_bytes > self.max_bytes
+            )
+
+        while over_capacity():
+            victim_name = next(
+                (n for n, e in self._entries.items() if not e.pinned), None
+            )
+            if victim_name is None:
+                for entry in reversed(evicted):
+                    self._entries[entry.name] = entry
+                    self._entries.move_to_end(entry.name, last=False)
+                raise RegistryFull(
+                    f"cannot register {incoming.name!r}: registry capacity "
+                    f"reached ({len(self._entries)}/{self.max_entries} "
+                    f"entries) and every resident entry is pinned"
+                )
+            evicted.append(self._entries.pop(victim_name))
+        return evicted
+
+    def unregister(self, name: str) -> RegistryEntry | None:
+        """Remove and return the entry for ``name`` (``None`` if absent)."""
+        with self._lock:
+            return self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        """The entry for ``name``, bumping recency and its hit count."""
+        with self._lock:
+            found = self._entries.get(name)
+            if found is None:
+                self._misses += 1
+                raise UnknownStructureError(name, tuple(self._entries))
+            self._entries.move_to_end(name)
+            found.hits += 1
+            self._hits += 1
+            return found
+
+    def resolve(self, name: str) -> Structure:
+        """The structure registered under ``name`` (404-mapped on miss)."""
+        return self.entry(name).structure
+
+    def peek(self, name: str) -> RegistryEntry | None:
+        """The entry for ``name`` without bumping recency or hit counts."""
+        with self._lock:
+            return self._entries.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        """The registered names, least recently used first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def entries(self) -> list[RegistryEntry]:
+        """A snapshot of the entries, least recently used first."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """The summed approximate bytes of every resident entry."""
+        with self._lock:
+            return sum(e.resident_bytes for e in self._entries.values())
+
+    def stats_snapshot(self) -> tuple[int, int, int, int]:
+        """``(hits, misses, registrations, evictions)``, coherently."""
+        with self._lock:
+            return self._hits, self._misses, self._registrations, self._evictions
+
+    def reset_stats(self) -> None:
+        """Zero the aggregate counters (per-entry stats are kept)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._registrations = 0
+            self._evictions = 0
+
+    def stats(self) -> dict:
+        """The JSON-friendly registry block served by ``/metrics``."""
+        with self._lock:
+            entries = list(self._entries.values())
+            return {
+                "entries": len(entries),
+                "max_entries": self.max_entries,
+                "resident_bytes": sum(e.resident_bytes for e in entries),
+                "max_bytes": self.max_bytes,
+                "pinned_entries": sum(1 for e in entries if e.pinned),
+                "hits": self._hits,
+                "misses": self._misses,
+                "registrations": self._registrations,
+                "evictions": self._evictions,
+                "structures": [e.as_dict() for e in entries],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StructureRegistry({len(self)}/{self.max_entries} entries, "
+            f"~{self.resident_bytes} bytes)"
+        )

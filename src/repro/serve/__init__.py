@@ -10,18 +10,23 @@ Two layers, both stdlib-only:
   histograms;
 * :mod:`repro.serve.httpd` -- :class:`CountingServer`, the hand-rolled
   asyncio HTTP server exposing ``/count``, ``/count_many``,
-  ``/count_sharded``, ``/healthz``, and ``/metrics`` as JSON, plus
+  ``/count_sharded``, the ``/structures`` registry routes,
+  ``/healthz``, and ``/metrics`` as JSON, plus
   :class:`BackgroundServer` for driving a live server from blocking
   code (tests, benchmarks, the ``--smoke`` check).
 
-Run one from the command line with ``python -m repro.serve``.
+Run one from the command line with ``python -m repro.serve``.  The
+full endpoint reference lives in ``docs/http_api.md`` (kept in sync
+with :data:`repro.serve.httpd.ROUTES` by CI).
 """
 
 from repro.serve.httpd import (
+    ROUTES,
     BackgroundServer,
     BadRequest,
     CountingServer,
     structure_from_json,
+    structure_or_ref_from_json,
 )
 from repro.serve.service import (
     CountingService,
@@ -34,6 +39,7 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ROUTES",
     "BackgroundServer",
     "BadRequest",
     "CountingServer",
@@ -45,4 +51,5 @@ __all__ = [
     "ServiceSaturated",
     "ServiceTimeout",
     "structure_from_json",
+    "structure_or_ref_from_json",
 ]

@@ -21,7 +21,15 @@ from repro.serve.service import CountingService, ServiceConfig
 
 
 def _build_server(args: argparse.Namespace) -> CountingServer:
-    engine = Engine(processes=args.processes)
+    registry_knobs = {
+        knob: value
+        for knob, value in (
+            ("registry_max_entries", args.registry_max_entries),
+            ("registry_max_bytes", args.registry_max_bytes),
+        )
+        if value is not None
+    }
+    engine = Engine(processes=args.processes, **registry_knobs)
     config = ServiceConfig(
         max_in_flight=args.max_in_flight,
         max_queue=args.max_queue,
@@ -32,7 +40,7 @@ def _build_server(args: argparse.Namespace) -> CountingServer:
 
 
 def _smoke(args: argparse.Namespace) -> int:
-    """Boot, serve one /count, shut down clean, verify zero children."""
+    """Boot, count inline and by reference, shut down clean, no children."""
     import multiprocessing
 
     args.port = 0
@@ -40,37 +48,57 @@ def _smoke(args: argparse.Namespace) -> int:
     with BackgroundServer(server) as background:
         host, port = background.server.address
         base = f"http://{host}:{port}"
-        body = json.dumps(
-            {
-                "query": "exists z. (E(x, z) & E(z, y))",
-                "structure": {"relations": {"E": [[1, 2], [2, 3], [3, 1]]}},
-            }
-        ).encode()
-        request = urllib.request.Request(
-            f"{base}/count",
-            data=body,
-            headers={"Content-Type": "application/json"},
-        )
-        with urllib.request.urlopen(request, timeout=30) as response:
-            count = json.load(response)["count"]
+
+        def call(method: str, path: str, payload: dict | None = None) -> dict:
+            request = urllib.request.Request(
+                f"{base}{path}",
+                data=None if payload is None else json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method=method,
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return json.load(response)
+
+        query = "exists z. (E(x, z) & E(z, y))"
+        triangle = {"relations": {"E": [[1, 2], [2, 3], [3, 1]]}}
+        count = call("POST", "/count", {"query": query, "structure": triangle})[
+            "count"
+        ]
         if count != 3:
             print(f"smoke FAILED: /count returned {count}, expected 3")
             return 1
-        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
-            health = json.load(response)
-        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
-            metrics = json.load(response)
-        if health["status"] != "ok":
+        # Register the structure, then count against the reference: the
+        # second request ships zero structure bytes.
+        entry = call("PUT", "/structures/smoke", {"structure": triangle})
+        if entry["name"] != "smoke" or not entry["pinned"]:
+            print(f"smoke FAILED: registration returned {entry}")
+            return 1
+        by_ref = call(
+            "POST", "/count", {"query": query, "structure": {"ref": "smoke"}}
+        )["count"]
+        if by_ref != 3:
+            print(f"smoke FAILED: /count by ref returned {by_ref}, expected 3")
+            return 1
+        health = call("GET", "/healthz")
+        metrics = call("GET", "/metrics")
+        if health["status"] != "ok" or health["registry_entries"] != 1:
             print(f"smoke FAILED: /healthz reported {health}")
             return 1
-        if metrics["service"]["endpoints"]["count"]["completed"] != 1:
-            print(f"smoke FAILED: metrics did not record the request")
+        if metrics["service"]["endpoints"]["count"]["completed"] != 2:
+            print("smoke FAILED: metrics did not record the requests")
             return 1
+        if metrics["registry"]["entries"] != 1:
+            print(f"smoke FAILED: registry metrics: {metrics['registry']}")
+            return 1
+        call("DELETE", "/structures/smoke")
     children = multiprocessing.active_children()
     if children:
         print(f"smoke FAILED: live children after shutdown: {children}")
         return 1
-    print("serve smoke OK: /count == 3, graceful shutdown, zero children")
+    print(
+        "serve smoke OK: /count == 3 inline and by ref, "
+        "graceful shutdown, zero children"
+    )
     return 0
 
 
@@ -105,9 +133,21 @@ def main(argv: list[str] | None = None) -> int:
         help="per-request deadline in seconds (queueing + execution)",
     )
     parser.add_argument(
+        "--registry-max-entries",
+        type=int,
+        default=None,
+        help="how many named structures may be resident at once",
+    )
+    parser.add_argument(
+        "--registry-max-bytes",
+        type=int,
+        default=None,
+        help="cap on the registry's summed approximate resident bytes",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="boot on an ephemeral port, serve one /count, exit",
+        help="boot on an ephemeral port, count inline and by ref, exit",
     )
     args = parser.parse_args(argv)
 

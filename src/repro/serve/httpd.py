@@ -15,17 +15,33 @@ Endpoints
 ``POST /count_sharded``
     ``{"query", "structure", "shard_count"?, "strategy"?,``
     ``"shard_strategy"?, "parallel"?}`` -> ``{"count": N}``.
+``PUT /structures/<name>`` / ``GET`` / ``DELETE``
+    Register, inspect, or drop a named resident structure; with a
+    registered name, every ``structure`` above may instead be the
+    reference form ``{"ref": "<name>"}`` -- the request then ships no
+    data and counts against the pinned, worker-resident entry.
+``GET /structures``
+    The registry: aggregate stats plus every entry's metadata.
 ``GET /healthz``
-    Liveness: status, in-flight gauges, pool state.
+    Liveness: status, in-flight gauges, pool state, registry size.
 ``GET /metrics``
     The full JSON metrics payload: per-endpoint request counters and
     latency histograms (p50/p90/p99), plus a coherent
-    :meth:`~repro.engine.api.Engine.stats` snapshot and pool info.
+    :meth:`~repro.engine.api.Engine.stats` snapshot, the registry
+    block, and pool info.
+
+The canonical route list is :data:`ROUTES` (CI asserts that
+``docs/http_api.md`` matches it exactly; see
+``tools/check_docs_freshness.py``).
 
 Structures travel as ``{"relations": {name: [[elem, ...], ...]},``
-``"universe"?: [...]}`` (or bare relation mappings); elements are JSON
-scalars.  Saturation maps to ``429`` (with ``Retry-After``), deadline
-misses to ``504``, shutdown to ``503``, malformed input to ``400``.
+``"universe"?: [...]}`` (or bare relation mappings) or as
+``{"ref": "<registered name>"}``; elements are JSON scalars.
+Saturation maps to ``429`` (with ``Retry-After``), deadline misses to
+``504``, shutdown to ``503``, malformed input to ``400``, an unknown
+path or structure reference to ``404`` (with ``known_paths`` /
+``known_structures``), a wrong method to ``405`` (with ``allowed`` and
+an ``Allow`` header).
 """
 
 from __future__ import annotations
@@ -36,6 +52,7 @@ import threading
 from typing import Mapping
 
 from repro.engine.pool import WorkerTaskError
+from repro.engine.registry import UnknownStructureError, validate_structure_name
 from repro.exceptions import ReproError
 from repro.serve.service import (
     CountingService,
@@ -60,6 +77,27 @@ _STATUS_REASONS = {
     500: "Internal Server Error", 503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+#: The canonical route table: every ``(method, path pattern)`` the
+#: server answers.  ``<name>`` marks the path segment carrying a
+#: structure name.  This is the single source of truth -- dispatch,
+#: the ``known_paths`` / ``allowed`` error fields, and the CI
+#: docs-freshness check (``tools/check_docs_freshness.py``) all derive
+#: from it.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("POST", "/count"),
+    ("POST", "/count_many"),
+    ("POST", "/count_sharded"),
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+    ("GET", "/structures"),
+    ("PUT", "/structures/<name>"),
+    ("GET", "/structures/<name>"),
+    ("DELETE", "/structures/<name>"),
+)
+
+#: The path patterns, deduplicated in route-table order.
+KNOWN_PATHS: tuple[str, ...] = tuple(dict.fromkeys(p for _, p in ROUTES))
 
 
 class BadRequest(ReproError):
@@ -103,6 +141,25 @@ def structure_from_json(payload) -> Structure:
         raise BadRequest(str(exc)) from exc
 
 
+def structure_or_ref_from_json(payload) -> Structure | str:
+    """Decode a structure *or* the ``{"ref": "<name>"}`` reference form.
+
+    A reference resolves against the engine's structure registry at
+    execution time; an unknown name surfaces as
+    :class:`~repro.engine.registry.UnknownStructureError` (HTTP 404).
+    """
+    if isinstance(payload, Mapping) and "ref" in payload:
+        if len(payload) != 1:
+            raise BadRequest(
+                'a structure reference must be exactly {"ref": "<name>"}'
+            )
+        ref = payload["ref"]
+        if not isinstance(ref, str) or not ref:
+            raise BadRequest("structure ref must be a non-empty string")
+        return ref
+    return structure_from_json(payload)
+
+
 def _require(payload: Mapping, field: str):
     try:
         return payload[field]
@@ -113,6 +170,16 @@ def _require(payload: Mapping, field: str):
 def _query_from_json(value) -> str:
     if not isinstance(value, str) or not value.strip():
         raise BadRequest("query must be a non-empty string")
+    return value
+
+
+def _optional_int(payload: Mapping, field: str) -> int | None:
+    """An optional integer field (JSON booleans are *not* integers)."""
+    value = payload.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"{field} must be an integer")
     return value
 
 
@@ -150,13 +217,25 @@ class CountingServer:
         self.port = port
         self.max_body_bytes = max_body_bytes
         self._server: asyncio.base_events.Server | None = None
-        self._routes = {
-            "/count": ("POST", self._route_count),
-            "/count_many": ("POST", self._route_count_many),
-            "/count_sharded": ("POST", self._route_count_sharded),
-            "/healthz": ("GET", None),
-            "/metrics": ("GET", None),
+        # Handlers keyed by (method, path pattern).
+        self._handlers = {
+            ("POST", "/count"): self._route_count,
+            ("POST", "/count_many"): self._route_count_many,
+            ("POST", "/count_sharded"): self._route_count_sharded,
+            ("GET", "/healthz"): None,
+            ("GET", "/metrics"): None,
+            ("GET", "/structures"): None,
+            ("PUT", "/structures/<name>"): self._route_register_structure,
+            ("GET", "/structures/<name>"): None,
+            ("DELETE", "/structures/<name>"): None,
         }
+        if set(self._handlers) != set(ROUTES):
+            # ROUTES is what dispatch, the error bodies, and the CI
+            # docs check trust; a handler table that drifted from it
+            # would 500 at request time -- fail at construction instead.
+            raise ReproError(
+                "CountingServer handler table drifted from ROUTES"
+            )
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -213,11 +292,15 @@ class CountingServer:
                 method, path, headers, body, parse_error = request
                 keep_alive = headers.get("connection", "").lower() != "close"
                 if parse_error is not None:
-                    status, payload = 400, {"error": parse_error}
+                    status, payload, extra = 400, {"error": parse_error}, {}
                     keep_alive = False
                 else:
-                    status, payload = await self._dispatch(method, path, body)
-                await self._write_response(writer, status, payload, keep_alive)
+                    status, payload, extra = await self._dispatch(
+                        method, path, body
+                    )
+                await self._write_response(
+                    writer, status, payload, keep_alive, extra
+                )
                 if not keep_alive:
                     break
         except (
@@ -284,6 +367,7 @@ class CountingServer:
         status: int,
         payload: dict,
         keep_alive: bool,
+        extra_headers: Mapping | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8") + b"\n"
         head = [
@@ -293,6 +377,8 @@ class CountingServer:
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
         if status == 429:
             head.append("Retry-After: 1")
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
@@ -301,52 +387,98 @@ class CountingServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _match_path(path: str) -> tuple[str | None, dict]:
+        """``(pattern, params)`` for ``path``, ``(None, {})`` if unknown."""
+        if path in KNOWN_PATHS and "<name>" not in path:
+            return path, {}
+        prefix = "/structures/"
+        if path.startswith(prefix) and len(path) > len(prefix):
+            return "/structures/<name>", {"name": path[len(prefix) :]}
+        return None, {}
+
     async def _dispatch(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
-        if path not in self._routes:
-            return 404, {"error": f"unknown path {path!r}"}
-        expected_method, handler = self._routes[path]
-        if method != expected_method:
-            return 405, {"error": f"{path} expects {expected_method}"}
-        if path == "/healthz":
-            health = self.service.healthz()
-            return (200 if health["status"] == "ok" else 503), health
-        if path == "/metrics":
-            return 200, self.service.metrics()
+    ) -> tuple[int, dict, dict]:
+        """``(status, JSON payload, extra response headers)`` for a request."""
+        pattern, params = self._match_path(path)
+        if pattern is None:
+            return (
+                404,
+                {
+                    "error": f"unknown path {path!r}",
+                    "known_paths": list(KNOWN_PATHS),
+                },
+                {},
+            )
+        allowed = sorted({m for m, p in ROUTES if p == pattern})
+        if method not in allowed:
+            return (
+                405,
+                {
+                    "error": f"{pattern} does not accept {method}",
+                    "allowed": allowed,
+                },
+                {"Allow": ", ".join(allowed)},
+            )
         try:
+            if (method, pattern) == ("GET", "/healthz"):
+                health = self.service.healthz()
+                return (200 if health["status"] == "ok" else 503), health, {}
+            if (method, pattern) == ("GET", "/metrics"):
+                return 200, self.service.metrics(), {}
+            if (method, pattern) == ("GET", "/structures"):
+                return 200, self.service.list_structures(), {}
+            if (method, pattern) == ("GET", "/structures/<name>"):
+                return 200, self.service.get_structure(params["name"]), {}
+            if (method, pattern) == ("DELETE", "/structures/<name>"):
+                name = params["name"]
+                if not await self.service.unregister_structure(name):
+                    raise UnknownStructureError(
+                        name, self.service.engine.registry.names()
+                    )
+                return 200, {"deleted": name}, {}
             payload = json.loads(body.decode("utf-8")) if body else None
             if not isinstance(payload, Mapping):
                 raise BadRequest("request body must be a JSON object")
+            handler = self._handlers[(method, pattern)]
             assert handler is not None
-            return 200, await handler(payload)
+            return 200, await handler(payload, **params), {}
         except BadRequest as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, {}
         except json.JSONDecodeError as exc:
-            return 400, {"error": f"invalid JSON body: {exc}"}
+            return 400, {"error": f"invalid JSON body: {exc}"}, {}
         except UnicodeDecodeError:
-            return 400, {"error": "request body must be UTF-8"}
+            return 400, {"error": "request body must be UTF-8"}, {}
+        except UnknownStructureError as exc:
+            # An unregistered reference is the JSON-body analogue of an
+            # unknown path: a 404 listing what *would* have resolved.
+            return (
+                404,
+                {"error": str(exc), "known_structures": sorted(exc.known)},
+                {},
+            )
         except ServiceSaturated as exc:
-            return 429, {"error": str(exc)}
+            return 429, {"error": str(exc)}, {}
         except ServiceClosed as exc:
-            return 503, {"error": str(exc)}
+            return 503, {"error": str(exc)}, {}
         except ServiceTimeout as exc:
-            return 504, {"error": str(exc)}
+            return 504, {"error": str(exc)}, {}
         except WorkerTaskError as exc:
             # A failure *inside* a pool worker is a server-side problem
             # with a well-formed request, never the client's fault.
-            return 500, {"error": str(exc)}
+            return 500, {"error": str(exc)}, {}
         except ReproError as exc:
             # Engine-level rejection of well-formed JSON that names an
             # unparsable query, unknown strategy, bad shard count, ...
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, {}
         except Exception as exc:  # pragma: no cover - defensive
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
 
     async def _route_count(self, payload: Mapping) -> dict:
         count = await self.service.count(
             _query_from_json(_require(payload, "query")),
-            structure_from_json(_require(payload, "structure")),
+            structure_or_ref_from_json(_require(payload, "structure")),
             strategy=str(payload.get("strategy", "auto")),
         )
         return {"count": count}
@@ -360,25 +492,43 @@ class CountingServer:
             raise BadRequest("structures must be a non-empty list")
         counts = await self.service.count_many(
             [_query_from_json(q) for q in queries],
-            [structure_from_json(s) for s in structures],
+            [structure_or_ref_from_json(s) for s in structures],
             strategy=str(payload.get("strategy", "auto")),
             parallel=payload.get("parallel"),
         )
         return {"counts": counts}
 
     async def _route_count_sharded(self, payload: Mapping) -> dict:
-        shard_count = payload.get("shard_count")
-        if shard_count is not None and not isinstance(shard_count, int):
-            raise BadRequest("shard_count must be an integer")
+        shard_count = _optional_int(payload, "shard_count")
         count = await self.service.count_sharded(
             _query_from_json(_require(payload, "query")),
-            structure_from_json(_require(payload, "structure")),
+            structure_or_ref_from_json(_require(payload, "structure")),
             shard_count=shard_count,
             strategy=str(payload.get("strategy", "auto")),
             shard_strategy=str(payload.get("shard_strategy", "hash")),
             parallel=payload.get("parallel"),
         )
         return {"count": count}
+
+    async def _route_register_structure(self, payload: Mapping, name: str) -> dict:
+        """``PUT /structures/<name>``: make a structure resident.
+
+        Body: ``{"structure": {...}, "pin"?: true, "shard_count"?: N}``.
+        The structure must be inline data (a reference cannot register a
+        reference); the response is the entry's metadata view.
+        """
+        try:
+            validate_structure_name(name)
+        except ReproError as exc:
+            raise BadRequest(str(exc)) from exc
+        structure = structure_from_json(_require(payload, "structure"))
+        pin = payload.get("pin", True)
+        if not isinstance(pin, bool):
+            raise BadRequest("pin must be a boolean")
+        shard_count = _optional_int(payload, "shard_count")
+        return await self.service.register_structure(
+            name, structure, pin=pin, shard_count=shard_count
+        )
 
 
 # ----------------------------------------------------------------------

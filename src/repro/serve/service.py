@@ -299,6 +299,58 @@ class CountingService:
         )
 
     # ------------------------------------------------------------------
+    # Structure registry management
+    # ------------------------------------------------------------------
+    async def register_structure(
+        self,
+        name: str,
+        structure,
+        pin: bool = True,
+        shard_count: int | None = None,
+    ) -> dict:
+        """Register a named resident structure; returns its entry view.
+
+        Management operations bypass the admission-controlled request
+        slots (they are rare and must not compete with traffic for the
+        bounded worker budget) but still run off the event loop: a
+        registration materializes contexts, computes the shard plan,
+        and may broadcast pins into the worker pool -- all blocking
+        work.
+        """
+        if self._closed:
+            raise ServiceClosed("service is shut down")
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(
+            None,
+            lambda: self.engine.register_structure(
+                name, structure, pin=pin, shard_count=shard_count
+            ),
+        )
+        return entry.as_dict()
+
+    async def unregister_structure(self, name: str) -> bool:
+        """Drop a registered structure; ``False`` when the name is unknown."""
+        if self._closed:
+            raise ServiceClosed("service is shut down")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.engine.unregister_structure(name)
+        )
+
+    def get_structure(self, name: str) -> dict:
+        """The entry view of one registered structure (404 if unknown)."""
+        entry = self.engine.registry.peek(name)
+        if entry is None:
+            from repro.engine.registry import UnknownStructureError
+
+            raise UnknownStructureError(name, self.engine.registry.names())
+        return entry.as_dict()
+
+    def list_structures(self) -> dict:
+        """The registry block: aggregate stats plus every entry view."""
+        return self.engine.registry.stats()
+
+    # ------------------------------------------------------------------
     async def _submit(self, endpoint: str, call: Callable[[], object]):
         """Admission control + deadline around one blocking engine call."""
         counters = self._endpoints[endpoint]
@@ -407,6 +459,8 @@ class CountingService:
             "executing": self._executing,
             "abandoned": self._abandoned,
             "pool_started": self.engine.pool.started,
+            "registry_entries": len(self.engine.registry),
+            "registry_bytes": self.engine.registry.resident_bytes,
         }
 
     def metrics(self) -> dict:
@@ -432,9 +486,11 @@ class CountingService:
                 },
             },
             "engine": self.engine.stats().as_dict(),
+            "registry": self.engine.registry.stats(),
             "pool": {
                 "processes": self.engine.pool.processes,
                 "started": self.engine.pool.started,
+                "pinned_structures": len(self.engine.pool.pinned_fingerprints()),
             },
         }
 

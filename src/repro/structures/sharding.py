@@ -70,6 +70,21 @@ class ShardedStructure:
         """The shards with a non-empty universe."""
         return tuple(s for s in self.shards if not s.is_empty())
 
+    def precompute_fingerprints(self) -> "ShardedStructure":
+        """Compute and cache every fingerprint (whole + per shard).
+
+        Fingerprints key the worker-resident context caches; computing
+        them once at registration time (they are cached on the
+        structures) means no later ``count_sharded`` call pays the
+        content hash on the request path, and the pickled shards
+        shipped to workers always carry their fingerprint along.
+        Returns ``self`` for chaining.
+        """
+        self.structure.fingerprint()
+        for shard in self.shards:
+            shard.fingerprint()
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sizes = ",".join(str(len(s)) for s in self.shards)
         return f"ShardedStructure({self.structure!r} -> [{sizes}])"

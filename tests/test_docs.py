@@ -1,0 +1,38 @@
+"""Documentation freshness: the API reference must match the server.
+
+The same check CI runs (``tools/check_docs_freshness.py``), executed as
+part of the tier-1 suite so route/docs drift fails locally before it
+fails in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs_freshness  # noqa: E402
+
+
+def test_http_api_docs_match_route_table():
+    problems = check_docs_freshness.check()
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_detects_missing_and_stale_routes(tmp_path):
+    stale = tmp_path / "http_api.md"
+    stale.write_text("### `POST /count`\n\n### `GET /bygone`\n")
+    problems = check_docs_freshness.check(stale)
+    assert any("/bygone" in p for p in problems)  # stale doc heading
+    assert any("/structures" in p for p in problems)  # undocumented route
+
+
+def test_docs_pages_exist_and_crosslink():
+    docs = REPO_ROOT / "docs"
+    for page in ("architecture.md", "http_api.md", "operations.md"):
+        assert (docs / page).exists(), f"docs/{page} is missing"
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/http_api.md", "docs/operations.md"):
+        assert page in readme, f"README does not link {page}"

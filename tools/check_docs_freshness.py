@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fail when ``docs/http_api.md`` drifts from the server's route table.
+
+The HTTP server's canonical route list is
+:data:`repro.serve.httpd.ROUTES`; the API reference documents each
+route as a heading of the form ``### `METHOD /path```.  This check
+asserts the two sets are *identical* in both directions -- a route
+added to the server without documentation, or documentation for a
+route the server no longer registers, fails CI.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python tools/check_docs_freshness.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "http_api.md"
+
+#: The heading form the API reference uses for each endpoint.
+_HEADING = re.compile(
+    r"^#{2,4}\s+`(GET|POST|PUT|DELETE|PATCH|HEAD)\s+(/\S*)`\s*$",
+    re.MULTILINE,
+)
+
+
+def documented_routes(text: str) -> set[tuple[str, str]]:
+    """The ``(method, path pattern)`` pairs documented as headings."""
+    return {(m.group(1), m.group(2)) for m in _HEADING.finditer(text)}
+
+
+def registered_routes() -> set[tuple[str, str]]:
+    """The server's canonical route table."""
+    from repro.serve.httpd import ROUTES
+
+    return set(ROUTES)
+
+
+def check(doc_path: Path = DOC_PATH) -> list[str]:
+    """The list of drift problems (empty when the docs are fresh)."""
+    problems: list[str] = []
+    if not doc_path.exists():
+        return [f"{doc_path} does not exist"]
+    documented = documented_routes(doc_path.read_text(encoding="utf-8"))
+    registered = registered_routes()
+    for method, path in sorted(registered - documented):
+        problems.append(
+            f"route {method} {path} is registered in repro/serve/httpd.py "
+            f"but has no `### `{method} {path}`` heading in {doc_path.name}"
+        )
+    for method, path in sorted(documented - registered):
+        problems.append(
+            f"{doc_path.name} documents {method} {path}, which is not in "
+            "repro.serve.httpd.ROUTES (stale documentation)"
+        )
+    if not documented:
+        problems.append(
+            f"{doc_path.name} documents no routes at all -- the heading "
+            "format is ``### `METHOD /path```"
+        )
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    problems = check()
+    if problems:
+        print("docs/http_api.md is out of sync with the HTTP route table:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    count = len(registered_routes())
+    print(f"docs freshness OK: all {count} HTTP routes documented, none stale")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
