@@ -35,6 +35,12 @@ And two end-to-end serving measurements:
   ``{"ref": ...}`` against the registered, pinned entry (target: the
   ref path wins client-observed p50 by >= 5x).
 
+Plus one observability measurement:
+
+* **tracing_overhead** -- the per-call p50 cost of span tracing
+  (``repro.obs.trace``, on by default) on repeated sharded counting:
+  traced vs. tracer-disabled-before-fork (target: < 5% overhead).
+
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
 a pre-``runs`` report found in the file is migrated to its own key, and
@@ -625,6 +631,72 @@ def bench_registry_serving(quick: bool) -> dict:
     }
 
 
+def bench_tracing_overhead(quick: bool) -> dict:
+    """Per-call cost of span tracing on the sharded counting path.
+
+    Tracing is on by default, so its overhead is the one observability
+    cost every request pays.  This runs the same repeated
+    ``count_sharded`` workload twice -- once traced, once with the
+    tracer disabled *before* the engine forks its pool (workers inherit
+    the flag at fork, so flipping it after would only silence the
+    parent) -- and compares per-call p50s.  The acceptance bar is
+    under 5% overhead at p50.
+    """
+    from statistics import median
+
+    from repro.obs.trace import get_tracer
+
+    clusters, size, p = (8, 10, 0.3) if quick else (60, 16, 0.7)
+    calls = 6 if quick else 20
+    structure = random_cluster_graph(clusters, size, p, seed=7)
+    query = path_query(2, quantify_interior=True)
+    tracer = get_tracer()
+
+    def measure() -> tuple[list[float], int]:
+        engine = Engine()
+        try:
+            count = engine.count_sharded(
+                query, structure, shard_count=clusters, parallel=True
+            )  # warm the plan, contexts, and pool before timing
+            latencies = []
+            for _ in range(calls):
+                before = time.perf_counter()
+                again = engine.count_sharded(
+                    query, structure, shard_count=clusters, parallel=True
+                )
+                latencies.append(time.perf_counter() - before)
+                assert again == count
+        finally:
+            engine.close()
+        return sorted(latencies), count
+
+    was_enabled = tracer.enabled
+    try:
+        tracer.set_enabled(True)
+        traced, traced_count = measure()
+        tracer.set_enabled(False)
+        untraced, untraced_count = measure()
+    finally:
+        tracer.set_enabled(None if was_enabled else False)
+    assert traced_count == untraced_count
+    traced_p50, untraced_p50 = median(traced), median(untraced)
+    return {
+        "query": "path2_pairs",
+        "tuples": structure.total_tuples,
+        "universe": len(structure.universe),
+        "shards": clusters,
+        "calls": calls,
+        "count": traced_count,
+        "traced_p50_seconds": traced_p50,
+        "untraced_p50_seconds": untraced_p50,
+        "overhead_pct": (
+            (traced_p50 - untraced_p50) / untraced_p50 * 100
+            if untraced_p50
+            else None
+        ),
+    }
+
+
 def append_report(
     output: Path, key: str, report: dict, force: bool = False
 ) -> dict:
@@ -718,6 +790,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm_workers": bench_warm_workers(args.quick),
         "serving": bench_serving(args.quick),
         "registry_serving": bench_registry_serving(args.quick),
+        "tracing_overhead": bench_tracing_overhead(args.quick),
     }
     repeated = report["repeated_query"]
     sharded = report["sharded_counting"]
@@ -725,6 +798,7 @@ def main(argv: list[str] | None = None) -> int:
     warm_workers = report["warm_workers"]
     serving = report["serving"]
     registry_serving = report["registry_serving"]
+    tracing = report["tracing_overhead"]
     report["summary"] = {
         "total_seconds": time.perf_counter() - started,
         "repeated_query_speedup": repeated["speedup"],
@@ -737,6 +811,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving_p99_seconds": serving["latency_p99_seconds"],
         "serving_throughput_rps": serving["throughput_rps"],
         "registry_serving_speedup_p50": registry_serving["ref_speedup_p50"],
+        "tracing_overhead_pct": tracing["overhead_pct"],
     }
 
     store = append_report(output, run_key, report, force=args.force)
@@ -793,6 +868,13 @@ def main(argv: list[str] | None = None) -> int:
         f"ref p50 {_ms(registry_serving['ref_p50_seconds'])} "
         f"({registry_serving['ref_request_bytes']} B/request), "
         f"speedup {registry_serving['ref_speedup_p50']:.1f}x"
+    )
+    print(
+        f"tracing overhead ({tracing['tuples']} tuples, "
+        f"{tracing['calls']} sharded calls): "
+        f"traced p50 {_ms(tracing['traced_p50_seconds'])} vs "
+        f"untraced p50 {_ms(tracing['untraced_p50_seconds'])} "
+        f"({tracing['overhead_pct']:+.1f}%)"
     )
     return 0
 

@@ -56,6 +56,8 @@ from repro.engine.registry import (
     StructureRegistry,
 )
 from repro.exceptions import ReproError
+from repro.obs import trace as _trace
+from repro.obs.trace import NOOP_SPAN
 from repro.structures.structure import Structure
 
 #: Anywhere the engine takes a structure it also takes the *name* of a
@@ -242,7 +244,21 @@ class Engine:
     def compile(self, query: Query, strategy: str = "auto") -> CountingPlan:
         """The compiled plan for ``query`` (cached, persisted if configured)."""
         before = time.perf_counter()
-        plan = self.plans.get(query, strategy, self.max_disjuncts, store=self.store)
+        with _trace.span("plan.compile", strategy=strategy) as span:
+            if span is not NOOP_SPAN:
+                # Probe before the real lookup so the span says whether
+                # this compile was served from cache (the probe itself
+                # touches no counters).
+                span.set(
+                    "cache",
+                    "hit"
+                    if self.plans.contains(query, strategy, self.max_disjuncts)
+                    else "miss",
+                )
+            plan = self.plans.get(
+                query, strategy, self.max_disjuncts, store=self.store
+            )
+            span.set("kind", plan.kind)
         with self._lock:
             self._compile_seconds += time.perf_counter() - before
         return plan
@@ -414,11 +430,12 @@ class Engine:
         request then carries no data at all and executes against the
         resident entry.
         """
-        structure = self.resolve_structure(structure)
-        plan = self.compile(query, strategy)
-        context = self._context_for(plan, structure)
-        before = time.perf_counter()
-        result = execute(plan, structure, context)
+        with _trace.span_or_trace("engine.count", strategy=strategy):
+            structure = self.resolve_structure(structure)
+            plan = self.compile(query, strategy)
+            context = self._context_for(plan, structure)
+            before = time.perf_counter()
+            result = execute(plan, structure, context)
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._count_calls += 1
@@ -460,40 +477,44 @@ class Engine:
         """
         if shard_count is not None and shard_count < 1:
             raise ReproError("shard_count must be at least 1")
-        entry = None
-        if isinstance(structure, str):
-            entry = self.registry.entry(structure)
-            structure = entry.structure
-            if shard_count is None:
-                shard_count = entry.shard_count
-        plan = self.compile(query, strategy)
-        before = time.perf_counter()
-        sharded_execution = plan.kind in _CONTEXT_KINDS
-        if sharded_execution:
-            if (
-                entry is not None
-                and entry.sharded is not None
-                and shard_count == entry.shard_count
-                and shard_strategy == entry.sharded.strategy
-            ):
-                sharded = entry.sharded
-            else:
-                context = self.contexts.get(structure)
-                sharded = context.sharded(
-                    default_process_count()
-                    if shard_count is None
-                    else shard_count,
-                    shard_strategy,
+        with _trace.span_or_trace(
+            "engine.count_sharded", strategy=strategy
+        ) as root:
+            entry = None
+            if isinstance(structure, str):
+                entry = self.registry.entry(structure)
+                structure = entry.structure
+                if shard_count is None:
+                    shard_count = entry.shard_count
+            plan = self.compile(query, strategy)
+            before = time.perf_counter()
+            sharded_execution = plan.kind in _CONTEXT_KINDS
+            if sharded_execution:
+                if (
+                    entry is not None
+                    and entry.sharded is not None
+                    and shard_count == entry.shard_count
+                    and shard_strategy == entry.sharded.strategy
+                ):
+                    sharded = entry.sharded
+                else:
+                    context = self.contexts.get(structure)
+                    sharded = context.sharded(
+                        default_process_count()
+                        if shard_count is None
+                        else shard_count,
+                        shard_strategy,
+                    )
+                root.set("shards", sharded.shard_count)
+                result = execute_sharded(
+                    plan,
+                    sharded,
+                    parallel=parallel,
+                    processes=processes,
+                    pool=self.pool,
                 )
-            result = execute_sharded(
-                plan,
-                sharded,
-                parallel=parallel,
-                processes=processes,
-                pool=self.pool,
-            )
-        else:
-            result = execute(plan, structure, None)
+            else:
+                result = execute(plan, structure, None)
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._count_calls += 1
@@ -518,18 +539,24 @@ class Engine:
         execution contexts.  Any item of ``structures`` may be the name
         of a registered structure.
         """
-        structures = [self.resolve_structure(s) for s in structures]
-        plans = [self.compile(q, strategy) for q in queries]
-        before = time.perf_counter()
-        result = _count_many(
-            plans,
-            structures,
+        with _trace.span_or_trace(
+            "engine.count_many",
             strategy=strategy,
-            parallel=parallel,
-            processes=processes,
-            context_cache=self.contexts,
-            pool=self.pool,
-        )
+            queries=len(queries),
+            structures=len(structures),
+        ):
+            structures = [self.resolve_structure(s) for s in structures]
+            plans = [self.compile(q, strategy) for q in queries]
+            before = time.perf_counter()
+            result = _count_many(
+                plans,
+                structures,
+                strategy=strategy,
+                parallel=parallel,
+                processes=processes,
+                context_cache=self.contexts,
+                pool=self.pool,
+            )
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._batch_calls += 1

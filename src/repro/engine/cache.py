@@ -305,6 +305,19 @@ class PlanCache:
             return False
         return key in self._cache
 
+    def contains(
+        self, query: Query, strategy: str, max_disjuncts: int
+    ) -> bool:
+        """Whether the exact ``(query, strategy, max_disjuncts)`` plan
+        is cached.  A pure probe: no statistics are touched and nothing
+        is compiled -- the tracing layer uses it to annotate
+        ``plan.compile`` spans with hit/miss before the real lookup."""
+        try:
+            key = plan_key(self.resolve(query), strategy, max_disjuncts)
+        except ReproError:
+            return False
+        return key in self._cache
+
     def clear(self) -> None:
         self._cache.clear()
         self._parse_cache.clear()

@@ -34,6 +34,7 @@ from repro.structures.homomorphism import (
     enumerate_extendable_assignments,
     has_homomorphism,
 )
+from repro.obs import trace as _trace
 from repro.structures.indexes import PositionalIndex
 from repro.structures.structure import Element, Structure
 
@@ -185,7 +186,10 @@ class ExecutionContext:
     def index(self) -> PositionalIndex:
         """The positional index of the structure (built on first use)."""
         if self._index is None:
-            self._index = PositionalIndex(self.structure)
+            with _trace.span(
+                "context.build", universe=len(self.structure)
+            ):
+                self._index = PositionalIndex(self.structure)
             self.stats.bump("index_builds")
         return self._index
 
@@ -288,10 +292,21 @@ class ExecutionContext:
                 self.structure.signature
             )
         ):
-            try:
-                relation = _semijoin_project(component.structure, self.index, boundary)
-            except _SemijoinBlowup:
-                relation = None
+            with _trace.span(
+                "context.semijoin", boundary=len(boundary)
+            ) as attempt:
+                try:
+                    relation = _semijoin_project(
+                        component.structure, self.index, boundary
+                    )
+                except _SemijoinBlowup:
+                    relation = None
+                    attempt.set("outcome", "blowup")
+                else:
+                    attempt.set(
+                        "outcome",
+                        "cyclic" if relation is None else "eliminated",
+                    )
             if relation is not None:
                 self.stats.bump("semijoin_eliminations")
                 return relation

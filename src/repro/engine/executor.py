@@ -57,6 +57,7 @@ from repro.engine.pool import (
 )
 from repro.exceptions import ReproError
 from repro.logic.pp import PPFormula
+from repro.obs import trace as _trace
 from repro.structures.sharding import (
     ShardedStructure,
     combine_shard_counts,
@@ -383,6 +384,21 @@ def _run_shard(job: tuple[tuple[_ShardUnit, ...], Structure]) -> list:
     return out
 
 
+def _run_shards_sequential(
+    jobs: Sequence[tuple[tuple[_ShardUnit, ...], Structure]],
+) -> list[list]:
+    """The sequential shard path, with the same spans the pool emits.
+
+    Parent-side ``shard.execute[i]`` spans keep a trace's shape
+    identical whether the shards ran in workers or in-process.
+    """
+    out: list[list] = []
+    for index, job in enumerate(jobs):
+        with _trace.span(f"shard.execute[{index}]", units=len(job[0])):
+            out.append(_run_shard(job))
+    return out
+
+
 def _combine_term(
     term: tuple[int, tuple[int, ...], tuple[int, ...]],
     rows: dict[int, list],
@@ -441,24 +457,30 @@ def execute_sharded(
             for shard in shards:
                 shard.fingerprint()
         try:
-            values_by_shard = _map_jobs(shard_task, jobs, processes, pool)
+            with _trace.span(
+                "shard.fanout", shards=len(jobs), units=len(program.units)
+            ):
+                values_by_shard = _map_jobs(shard_task, jobs, processes, pool)
         except WorkerTaskError as failure:
             raise failure.original from failure
         except _pool_fallback_errors():
-            values_by_shard = [_run_shard(job) for job in jobs]
+            values_by_shard = _run_shards_sequential(jobs)
     else:
-        values_by_shard = [_run_shard(job) for job in jobs]
+        values_by_shard = _run_shards_sequential(jobs)
 
-    # rows[i] = the per-shard results of unit i (empty shards dropped:
-    # they contribute count 0 / sat False by construction).
-    rows: dict[int, list] = {
-        i: [values[i] for values in values_by_shard]
-        for i in range(len(program.units))
-    }
-    for disjunct in program.sentence_disjuncts:
-        # A sentence holds on the whole structure iff each of its
-        # connected components maps into some shard (components are
-        # independent, so the shards may differ).
-        if all(any(rows[i]) for i in disjunct):
-            return sharded.universe_size ** program.liberal_count
-    return sum(_combine_term(term, rows) for term in program.terms)
+    with _trace.span(
+        "combine", shards=len(shards), terms=len(program.terms)
+    ):
+        # rows[i] = the per-shard results of unit i (empty shards
+        # dropped: they contribute count 0 / sat False by construction).
+        rows: dict[int, list] = {
+            i: [values[i] for values in values_by_shard]
+            for i in range(len(program.units))
+        }
+        for disjunct in program.sentence_disjuncts:
+            # A sentence holds on the whole structure iff each of its
+            # connected components maps into some shard (components are
+            # independent, so the shards may differ).
+            if all(any(rows[i]) for i in disjunct):
+                return sharded.universe_size ** program.liberal_count
+        return sum(_combine_term(term, rows) for term in program.terms)

@@ -56,7 +56,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.exceptions import ReproError
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
 from repro.structures.structure import Structure
+
+_log = get_logger("engine.pool")
 
 #: Default number of execution contexts each worker keeps resident.
 DEFAULT_WORKER_CONTEXT_CAPACITY = 8
@@ -89,17 +93,27 @@ class _TaskOk:
 
     ``context_hit`` is ``True``/``False`` when the task consulted the
     worker-resident context cache, ``None`` when it needed no context.
+    ``spans`` carries the worker-recorded trace spans (serialized
+    dicts) when tracing was on in the worker, else ``None``; the
+    parent re-parents them into the caller's trace.
     """
 
     value: object
     context_hit: bool | None = None
+    spans: list | None = None
 
 
 @dataclass
 class _TaskFailure:
-    """Sentinel carrying an exception raised inside a worker task."""
+    """Sentinel carrying an exception raised inside a worker task.
+
+    ``spans`` still carries the worker's recorded trace up to (and
+    including) the failure, so a worker exception produces a complete,
+    error-annotated trace instead of a truncated one.
+    """
 
     exception: BaseException
+    spans: list | None = None
 
 
 def _wrap_failure(exc: BaseException) -> _TaskFailure:
@@ -191,8 +205,13 @@ def _await_broadcast_barrier(barrier, timeout: float) -> None:
         return
     try:
         barrier.wait(timeout)
-    except Exception:  # threading.BrokenBarrierError, proxy errors
-        pass
+    except Exception as exc:  # threading.BrokenBarrierError, proxy errors
+        # Degrading to best-effort distribution is deliberate, but the
+        # dropped error must at least be visible at debug level.
+        _log.debug(
+            "broadcast barrier wait failed; continuing best-effort",
+            extra={"error": f"{type(exc).__name__}: {exc}"},
+        )
 
 
 def pin_structures_task(job) -> _TaskOk | _TaskFailure:
@@ -276,19 +295,23 @@ def count_block_task(job) -> _TaskOk | _TaskFailure:
     stay coherent on a fingerprint hit).
     """
     plans, structure, use_context = job
+    cap = _trace.capture("count.block", plans=len(job[0]))
     try:
-        from repro.engine.executor import execute
+        with cap:
+            from repro.engine.executor import execute
 
-        context = None
-        hit: bool | None = None
-        if use_context:
-            context, hit = _resident_context(structure)
-            structure = context.structure
-        return _TaskOk(
-            [execute(plan, structure, context) for plan in plans], hit
-        )
+            context = None
+            hit: bool | None = None
+            if use_context:
+                context, hit = _resident_context(structure)
+                structure = context.structure
+            cap.root.set("context_hit", hit)
+            values = [execute(plan, structure, context) for plan in plans]
+        return _TaskOk(values, hit, cap.spans)
     except Exception as exc:
-        return _wrap_failure(exc)
+        failure = _wrap_failure(exc)
+        failure.spans = cap.spans
+        return failure
 
 
 def shard_task(job) -> _TaskOk | _TaskFailure:
@@ -300,19 +323,24 @@ def shard_task(job) -> _TaskOk | _TaskFailure:
     warm memos instead of rebuilding them.
     """
     units, shard = job
+    cap = _trace.capture("shard.execute", units=len(job[0]))
     try:
-        context, hit = _resident_context(shard)
-        out: list = []
-        for unit in units:
-            if unit.kind == "count":
-                assert unit.plan is not None
-                out.append(context.count_plan(unit.plan))
-            else:
-                assert unit.sentence is not None
-                out.append(context.sentence_holds(unit.sentence))
-        return _TaskOk(out, hit)
+        with cap:
+            context, hit = _resident_context(shard)
+            cap.root.set("context_hit", hit)
+            out: list = []
+            for unit in units:
+                if unit.kind == "count":
+                    assert unit.plan is not None
+                    out.append(context.count_plan(unit.plan))
+                else:
+                    assert unit.sentence is not None
+                    out.append(context.sentence_holds(unit.sentence))
+        return _TaskOk(out, hit, cap.spans)
     except Exception as exc:
-        return _wrap_failure(exc)
+        failure = _wrap_failure(exc)
+        failure.spans = cap.spans
+        return failure
 
 
 # ----------------------------------------------------------------------
@@ -408,13 +436,23 @@ class WorkerPool:
         worker; lets pool-setup and job-pickling errors (``OSError``,
         pickling errors, ...) propagate as themselves, which is the
         signal the executor's sequential fallback keys on.
+
+        Worker-recorded trace spans riding on each result are
+        re-parented into the caller's ambient trace (suffixed with the
+        job index, e.g. ``shard.execute[3]``) -- for *every* job before
+        the first failure is raised, so an exceptional trace is still
+        complete.
         """
         raw = self._ensure_pool().map(task, list(jobs))
         values = []
         hits = misses = 0
-        for item in raw:
+        failure: _TaskFailure | None = None
+        for index, item in enumerate(raw):
+            _trace.attach_foreign(item.spans, suffix=f"[{index}]")
             if isinstance(item, _TaskFailure):
-                raise WorkerTaskError(item.exception)
+                if failure is None:
+                    failure = item
+                continue
             values.append(item.value)
             if item.context_hit is True:
                 hits += 1
@@ -423,6 +461,8 @@ class WorkerPool:
         with self._lock:
             self.worker_context_hits += hits
             self.worker_context_misses += misses
+        if failure is not None:
+            raise WorkerTaskError(failure.exception)
         return values
 
     # ------------------------------------------------------------------
@@ -558,8 +598,16 @@ class WorkerPool:
     def __del__(self):  # pragma: no cover - GC safety net
         try:
             self.terminate()
-        except Exception:
-            pass
+        except Exception as exc:
+            # Interpreter shutdown may have torn down multiprocessing
+            # (or logging) already; surface what we can, never raise.
+            try:
+                _log.debug(
+                    "worker pool GC teardown failed",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+            except Exception:
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "started" if self.started else "idle"

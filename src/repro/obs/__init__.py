@@ -1,0 +1,55 @@
+"""Observability for the counting stack: tracing, logging, metrics.
+
+Three dependency-free pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` -- per-request span trace trees with a
+  process-wide :class:`~repro.obs.trace.Tracer`, ambient propagation
+  via :mod:`contextvars`, worker-side capture across the pool's
+  process boundary, and a bounded ring buffer behind
+  ``GET /debug/traces``;
+* :mod:`repro.obs.log` -- JSON-lines structured logging on stdlib
+  ``logging`` (request-completion records, slow-query dumps);
+* :mod:`repro.obs.prom` -- Prometheus text exposition (format 0.0.4)
+  of the ``/metrics`` payload, plus the parser/validator the CI
+  scrape check uses.
+"""
+
+from repro.obs.log import JsonLineFormatter, configure, get_logger
+from repro.obs.prom import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+)
+from repro.obs.prom import (
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    Trace,
+    Tracer,
+    attach_foreign,
+    capture,
+    get_tracer,
+    span,
+    span_or_trace,
+)
+
+__all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "JsonLineFormatter",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "Trace",
+    "Tracer",
+    "attach_foreign",
+    "capture",
+    "configure",
+    "get_logger",
+    "get_tracer",
+    "parse_exposition",
+    "render_prometheus",
+    "span",
+    "span_or_trace",
+    "validate_exposition",
+]

@@ -1,0 +1,164 @@
+"""Structured (JSON-lines) logging on top of the stdlib ``logging``.
+
+The stack logs through ordinary ``logging.Logger`` objects obtained via
+:func:`get_logger`, all children of the ``repro`` root logger.  What
+this module adds is the *format*: :class:`JsonLineFormatter` renders
+each record as one JSON object per line, folding in every attribute
+passed via ``extra=`` -- so a call like ::
+
+    log.info("request complete", extra={"request_id": rid, "status": 200})
+
+produces ::
+
+    {"ts": ..., "level": "INFO", "logger": "repro.serve.request",
+     "message": "request complete", "request_id": "...", "status": 200}
+
+:func:`configure` wires a handler onto the ``repro`` root exactly once
+(idempotent, re-configurable) and is called by the server CLI
+(``--log-level`` / ``--log-json``); library use never configures
+logging at import time, per stdlib convention.
+
+The two well-known record streams (documented in
+``docs/observability.md``):
+
+``repro.serve.request``
+    one INFO record per completed HTTP request -- fields
+    ``request_id``, ``trace_id``, ``method``, ``endpoint``, ``status``,
+    ``duration_seconds``, ``stages`` (stage-name → seconds);
+``repro.serve.slowquery``
+    one WARNING record per request over the slow-query threshold,
+    carrying the full span tree under ``trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+#: The root logger name every stack logger descends from.
+ROOT_LOGGER = "repro"
+
+#: ``LogRecord`` attributes that are plumbing, not payload.  Anything
+#: on a record that is not in this set came from ``extra=`` and is
+#: folded into the JSON object.
+_STANDARD_ATTRS = frozenset(
+    (
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "message",
+        "module",
+        "msecs",
+        "msg",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    )
+)
+
+
+def _jsonable(value):
+    """Coerce one extra-attribute value to something JSON can carry."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each log record as a single-line JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and key not in out:
+                out[key] = _jsonable(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            out["exception"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=repr)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-oriented default: timestamp, level, message, then extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(record.created)
+        )
+        parts = [
+            f"{stamp} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}"
+        ]
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS:
+                parts.append(f"{key}={_jsonable(value)!r}")
+        line = " ".join(parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A stack logger: ``get_logger("serve.request")`` → ``repro.serve.request``."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(
+    level: int | str = logging.INFO,
+    json_lines: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: calling again replaces the previously attached handler
+    (recognized by a marker attribute) instead of stacking duplicates,
+    so tests and re-entrant CLIs can reconfigure freely.  Returns the
+    root logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.strip().upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        JsonLineFormatter() if json_lines else KeyValueFormatter()
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    # Keep stack records out of the (possibly differently formatted)
+    # global root logger.
+    root.propagate = False
+    return root

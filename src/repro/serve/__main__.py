@@ -16,11 +16,19 @@ import sys
 import urllib.request
 
 from repro.engine.api import Engine
+from repro.obs import trace as _trace
+from repro.obs.log import configure as configure_logging
 from repro.serve.httpd import BackgroundServer, CountingServer
 from repro.serve.service import CountingService, ServiceConfig
 
 
 def _build_server(args: argparse.Namespace) -> CountingServer:
+    configure_logging(level=args.log_level, json_lines=args.log_json)
+    tracer = _trace.get_tracer()
+    if args.trace_buffer <= 0:
+        tracer.set_enabled(False)
+    else:
+        tracer.set_capacity(args.trace_buffer)
     registry_knobs = {
         knob: value
         for knob, value in (
@@ -30,10 +38,12 @@ def _build_server(args: argparse.Namespace) -> CountingServer:
         if value is not None
     }
     engine = Engine(processes=args.processes, **registry_knobs)
+    slow = args.slow_query_threshold
     config = ServiceConfig(
         max_in_flight=args.max_in_flight,
         max_queue=args.max_queue,
         request_timeout_seconds=args.timeout,
+        slow_request_seconds=slow if slow and slow > 0 else None,
     )
     service = CountingService(engine=engine, config=config, owns_engine=True)
     return CountingServer(service=service, host=args.host, port=args.port)
@@ -49,6 +59,8 @@ def _smoke(args: argparse.Namespace) -> int:
         host, port = background.server.address
         base = f"http://{host}:{port}"
 
+        last_headers: dict = {}
+
         def call(method: str, path: str, payload: dict | None = None) -> dict:
             request = urllib.request.Request(
                 f"{base}{path}",
@@ -57,6 +69,8 @@ def _smoke(args: argparse.Namespace) -> int:
                 method=method,
             )
             with urllib.request.urlopen(request, timeout=30) as response:
+                last_headers.clear()
+                last_headers.update(response.headers.items())
                 return json.load(response)
 
         query = "exists z. (E(x, z) & E(z, y))"
@@ -66,6 +80,10 @@ def _smoke(args: argparse.Namespace) -> int:
         ]
         if count != 3:
             print(f"smoke FAILED: /count returned {count}, expected 3")
+            return 1
+        request_id = last_headers.get("X-Request-Id")
+        if not request_id:
+            print("smoke FAILED: /count response carried no X-Request-Id")
             return 1
         # Register the structure, then count against the reference: the
         # second request ships zero structure bytes.
@@ -90,6 +108,29 @@ def _smoke(args: argparse.Namespace) -> int:
         if metrics["registry"]["entries"] != 1:
             print(f"smoke FAILED: registry metrics: {metrics['registry']}")
             return 1
+        # Prometheus exposition via content negotiation.
+        from repro.obs.prom import validate_exposition
+
+        with urllib.request.urlopen(
+            f"{base}/metrics?format=prometheus", timeout=30
+        ) as response:
+            content_type = response.headers.get("Content-Type", "")
+            exposition = response.read().decode("utf-8")
+        if "version=0.0.4" not in content_type:
+            print(f"smoke FAILED: /metrics content type {content_type!r}")
+            return 1
+        problems = validate_exposition(exposition)
+        if problems:
+            print(f"smoke FAILED: invalid Prometheus exposition: {problems}")
+            return 1
+        # Tracing: the requests above should be retained and retrievable.
+        traces = call("GET", "/debug/traces")
+        if traces["tracing_enabled"] and traces["traces"]:
+            newest = traces["traces"][0]["trace_id"]
+            tree = call("GET", f"/debug/traces/{newest}")
+            if tree.get("trace_id") != newest:
+                print(f"smoke FAILED: trace lookup returned {tree}")
+                return 1
         call("DELETE", "/structures/smoke")
     children = multiprocessing.active_children()
     if children:
@@ -143,6 +184,31 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="cap on the registry's summed approximate resident bytes",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity for the repro.* loggers",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line instead of key=value text",
+    )
+    parser.add_argument(
+        "--slow-query-threshold",
+        type=float,
+        default=1.0,
+        help="dump the full span tree for requests slower than this many "
+        "seconds (0 or negative disables the slow-query log)",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=_trace.DEFAULT_TRACE_CAPACITY,
+        help="finished traces retained for /debug/traces "
+        "(0 disables tracing entirely)",
     )
     parser.add_argument(
         "--smoke",

@@ -28,7 +28,20 @@ Endpoints
     The full JSON metrics payload: per-endpoint request counters and
     latency histograms (p50/p90/p99), plus a coherent
     :meth:`~repro.engine.api.Engine.stats` snapshot, the registry
-    block, and pool info.
+    block, pool info, and the tracing gauges.  With
+    ``?format=prometheus`` (or ``Accept: text/plain``) the same
+    snapshot is served as Prometheus text exposition format 0.0.4
+    instead (see :mod:`repro.obs.prom`).
+``GET /debug/traces``
+    Summaries of the finished request traces retained in the tracer's
+    ring buffer (newest first).
+``GET /debug/traces/<trace_id>``
+    One retained trace as its full span tree.
+
+Every response carries an ``X-Request-Id`` header -- echoed from the
+request when the client sent one, generated otherwise -- which is also
+the ``request_id`` of the request's trace and of its
+``repro.serve.request`` completion log record.
 
 The canonical route list is :data:`ROUTES` (CI asserts that
 ``docs/http_api.md`` matches it exactly; see
@@ -49,11 +62,19 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
+import urllib.parse
+import uuid
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.engine.pool import WorkerTaskError
 from repro.engine.registry import UnknownStructureError, validate_structure_name
 from repro.exceptions import ReproError
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prom import render_prometheus
 from repro.serve.service import (
     CountingService,
     ServiceClosed,
@@ -62,6 +83,10 @@ from repro.serve.service import (
     ServiceTimeout,
 )
 from repro.structures.structure import Structure
+
+_request_log = get_logger("serve.request")
+_slowquery_log = get_logger("serve.slowquery")
+_connection_log = get_logger("serve.httpd")
 
 #: Largest accepted request body, in bytes.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -94,6 +119,8 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("PUT", "/structures/<name>"),
     ("GET", "/structures/<name>"),
     ("DELETE", "/structures/<name>"),
+    ("GET", "/debug/traces"),
+    ("GET", "/debug/traces/<trace_id>"),
 )
 
 #: The path patterns, deduplicated in route-table order.
@@ -102,6 +129,14 @@ KNOWN_PATHS: tuple[str, ...] = tuple(dict.fromkeys(p for _, p in ROUTES))
 
 class BadRequest(ReproError):
     """The request body or parameters cannot be interpreted."""
+
+
+@dataclass(frozen=True)
+class _TextPayload:
+    """A non-JSON response body (the Prometheus exposition page)."""
+
+    text: str
+    content_type: str
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +263,8 @@ class CountingServer:
             ("PUT", "/structures/<name>"): self._route_register_structure,
             ("GET", "/structures/<name>"): None,
             ("DELETE", "/structures/<name>"): None,
+            ("GET", "/debug/traces"): None,
+            ("GET", "/debug/traces/<trace_id>"): None,
         }
         if set(self._handlers) != set(ROUTES):
             # ROUTES is what dispatch, the error bodies, and the CI
@@ -289,15 +326,30 @@ class CountingServer:
                     break
                 if request is None:  # clean EOF between requests
                     break
-                method, path, headers, body, parse_error = request
+                method, raw_path, headers, body, parse_error = request
                 keep_alive = headers.get("connection", "").lower() != "close"
+                path, _, query = raw_path.partition("?")
+                request_id = (
+                    headers.get("x-request-id") or uuid.uuid4().hex[:16]
+                )
+                started = time.perf_counter()
+                tracer = _trace.get_tracer()
                 if parse_error is not None:
+                    trace = _trace.NOOP_TRACE
                     status, payload, extra = 400, {"error": parse_error}, {}
                     keep_alive = False
                 else:
-                    status, payload, extra = await self._dispatch(
-                        method, path, body
-                    )
+                    with tracer.trace(
+                        f"{method} {path}", request_id=request_id
+                    ) as trace:
+                        status, payload, extra = await self._dispatch(
+                            method, path, query, headers, body
+                        )
+                duration = time.perf_counter() - started
+                extra = {**extra, "X-Request-Id": request_id}
+                self._log_request(
+                    method, path, status, duration, request_id, trace
+                )
                 await self._write_response(
                     writer, status, payload, keep_alive, extra
                 )
@@ -307,14 +359,61 @@ class CountingServer:
             ConnectionResetError,
             BrokenPipeError,
             asyncio.IncompleteReadError,
-        ):  # pragma: no cover - client went away mid-request
-            pass
+        ) as exc:  # pragma: no cover - client went away mid-request
+            _connection_log.debug(
+                "client connection dropped mid-request",
+                extra={"error": f"{type(exc).__name__}: {exc}"},
+            )
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
+            except (ConnectionResetError, BrokenPipeError) as exc:  # pragma: no cover
+                _connection_log.debug(
+                    "connection close handshake failed",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+
+    def _log_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration: float,
+        request_id: str,
+        trace,
+    ) -> None:
+        """One completion record per request, plus the slow-query dump."""
+        _request_log.info(
+            "request complete",
+            extra={
+                "request_id": request_id,
+                "trace_id": trace.trace_id,
+                "method": method,
+                "endpoint": path,
+                "status": status,
+                "duration_seconds": round(duration, 6),
+                "stages": {
+                    name: round(seconds, 6)
+                    for name, seconds in trace.stage_breakdown().items()
+                },
+            },
+        )
+        threshold = self.service.config.slow_request_seconds
+        if threshold is not None and threshold > 0 and duration > threshold:
+            _slowquery_log.warning(
+                "slow request",
+                extra={
+                    "request_id": request_id,
+                    "trace_id": trace.trace_id,
+                    "method": method,
+                    "endpoint": path,
+                    "status": status,
+                    "duration_seconds": round(duration, 6),
+                    "threshold_seconds": threshold,
+                    "trace": trace.as_dict(),
+                },
+            )
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """One parsed request, ``None`` on EOF, or a parse-error tuple."""
@@ -359,21 +458,28 @@ class CountingServer:
             return method, path, headers, b"", "request body too large"
         if length:
             body = await reader.readexactly(length)
-        return method, path.split("?", 1)[0], headers, body, None
+        # The query string stays attached; dispatch splits it off (the
+        # /metrics format negotiation reads it).
+        return method, path, headers, body, None
 
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | _TextPayload,
         keep_alive: bool,
         extra_headers: Mapping | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8") + b"\n"
+        if isinstance(payload, _TextPayload):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8") + b"\n"
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_STATUS_REASONS.get(status, 'Unknown')}",
             f"Server: {_SERVER_NAME}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -390,17 +496,36 @@ class CountingServer:
     @staticmethod
     def _match_path(path: str) -> tuple[str | None, dict]:
         """``(pattern, params)`` for ``path``, ``(None, {})`` if unknown."""
-        if path in KNOWN_PATHS and "<name>" not in path:
+        if path in KNOWN_PATHS and "<" not in path:
             return path, {}
         prefix = "/structures/"
         if path.startswith(prefix) and len(path) > len(prefix):
             return "/structures/<name>", {"name": path[len(prefix) :]}
+        prefix = "/debug/traces/"
+        if path.startswith(prefix) and len(path) > len(prefix):
+            return "/debug/traces/<trace_id>", {"trace_id": path[len(prefix) :]}
         return None, {}
 
+    @staticmethod
+    def _wants_prometheus(query: str, headers: Mapping) -> bool:
+        """Content negotiation for ``/metrics``: JSON unless asked.
+
+        ``?format=prometheus`` (or ``format=openmetrics``) wins over
+        headers; otherwise an ``Accept`` preferring ``text/plain`` over
+        JSON (what a Prometheus scraper sends) selects the exposition
+        format.
+        """
+        params = urllib.parse.parse_qs(query)
+        fmt = params.get("format", [None])[0]
+        if fmt is not None:
+            return fmt.lower() in ("prometheus", "openmetrics")
+        accept = headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict, dict]:
-        """``(status, JSON payload, extra response headers)`` for a request."""
+        self, method: str, path: str, query: str, headers: Mapping, body: bytes
+    ) -> tuple[int, dict | _TextPayload, dict]:
+        """``(status, payload, extra response headers)`` for a request."""
         pattern, params = self._match_path(path)
         if pattern is None:
             return (
@@ -426,7 +551,38 @@ class CountingServer:
                 health = self.service.healthz()
                 return (200 if health["status"] == "ok" else 503), health, {}
             if (method, pattern) == ("GET", "/metrics"):
-                return 200, self.service.metrics(), {}
+                metrics = self.service.metrics()
+                if self._wants_prometheus(query, headers):
+                    return (
+                        200,
+                        _TextPayload(
+                            render_prometheus(metrics), _PROM_CONTENT_TYPE
+                        ),
+                        {},
+                    )
+                return 200, metrics, {}
+            if (method, pattern) == ("GET", "/debug/traces"):
+                tracer = _trace.get_tracer()
+                return (
+                    200,
+                    {
+                        "tracing_enabled": tracer.enabled,
+                        "capacity": tracer.capacity,
+                        "traces": [
+                            t.summary() for t in tracer.finished_traces()
+                        ],
+                    },
+                    {},
+                )
+            if (method, pattern) == ("GET", "/debug/traces/<trace_id>"):
+                found = _trace.get_tracer().get(params["trace_id"])
+                if found is None:
+                    return (
+                        404,
+                        {"error": f"unknown trace {params['trace_id']!r}"},
+                        {},
+                    )
+                return 200, found.as_dict(), {}
             if (method, pattern) == ("GET", "/structures"):
                 return 200, self.service.list_structures(), {}
             if (method, pattern) == ("GET", "/structures/<name>"):

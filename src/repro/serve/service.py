@@ -30,6 +30,8 @@ those with a coherent :meth:`Engine.stats` snapshot -- the payload
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -38,6 +40,10 @@ from typing import Callable, Sequence
 
 from repro.engine.api import Engine
 from repro.exceptions import ReproError
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+
+_log = get_logger("serve.service")
 
 #: Upper bounds (seconds) of the latency histogram buckets; the last
 #: bucket is unbounded.  Log-spaced from 0.5ms to 60s.
@@ -82,7 +88,10 @@ class ServiceConfig:
     ``request_timeout_seconds`` is the per-request deadline across
     queueing and execution; ``drain_timeout_seconds`` is how long
     :meth:`CountingService.aclose` waits for in-flight work before
-    giving up on stragglers.
+    giving up on stragglers.  ``slow_request_seconds`` is the
+    slow-query threshold: a completed HTTP request slower than this
+    gets its full span tree dumped to the ``repro.serve.slowquery``
+    log (``None`` or non-positive disables the dump).
     """
 
     max_in_flight: int = 4
@@ -90,6 +99,7 @@ class ServiceConfig:
     request_timeout_seconds: float = 30.0
     drain_timeout_seconds: float = 10.0
     latency_buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    slow_request_seconds: float | None = 1.0
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -133,17 +143,35 @@ class LatencyHistogram:
             self._sum += seconds
             self._max = max(self._max, seconds)
 
+    def _bucket_value(self, index: int, maximum: float) -> float:
+        """A bucket's reported value: its upper bound, or the true max
+        for the unbounded overflow bucket."""
+        return self.bounds[index] if index < len(self.bounds) else maximum
+
     def _percentile_from(
         self, counts: Sequence[int], total: int, maximum: float, quantile: float
     ) -> float | None:
         if not total:
             return None
-        rank = quantile * total
+        if quantile >= 1.0:
+            # The top quantile is the genuinely observed maximum, even
+            # when the largest observation fell in a bounded bucket.
+            return maximum
+        if quantile <= 0.0:
+            # The minimum estimate: the first non-empty bucket.  (With
+            # rank 0 the old code reported bounds[0] even when that
+            # bucket was empty.)
+            for i, count in enumerate(counts):
+                if count:
+                    return self._bucket_value(i, maximum)
+            return maximum  # unreachable with total > 0
+        # Nearest-rank: the value at position ceil(q * total), 1-based.
+        rank = max(1, math.ceil(quantile * total))
         cumulative = 0
         for i, count in enumerate(counts):
             cumulative += count
             if cumulative >= rank:
-                return self.bounds[i] if i < len(self.bounds) else maximum
+                return self._bucket_value(i, maximum)
         return maximum
 
     def percentile(self, quantile: float) -> float | None:
@@ -159,6 +187,26 @@ class LatencyHistogram:
         with self._lock:
             return self._total
 
+    @property
+    def sum_seconds(self) -> float:
+        """The summed observed seconds (the Prometheus ``_sum`` series)."""
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> list[dict]:
+        """Cumulative ``{le, count}`` pairs, closed by the ``le=None``
+        (+Inf) bucket whose count equals the total -- the exact shape
+        of a Prometheus histogram's ``_bucket`` series."""
+        with self._lock:
+            counts = list(self._counts)
+        out: list[dict] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, counts):
+            cumulative += count
+            out.append({"le": bound, "count": cumulative})
+        out.append({"le": None, "count": cumulative + counts[-1]})
+        return out
+
     def as_dict(self) -> dict:
         with self._lock:
             counts = list(self._counts)
@@ -167,6 +215,16 @@ class LatencyHistogram:
             maximum = self._max
         # Percentiles from the copied counts, so the payload is one
         # coherent snapshot even while observations keep landing.
+        cumulative = 0
+        buckets = []
+        for bound, count in zip(self.bounds, counts):
+            cumulative += count
+            buckets.append(
+                {"le": bound, "count": count, "cumulative": cumulative}
+            )
+        buckets.append(
+            {"le": None, "count": counts[-1], "cumulative": total}
+        )
         return {
             "count": total,
             "sum_seconds": seconds_sum,
@@ -175,11 +233,7 @@ class LatencyHistogram:
             "p50_seconds": self._percentile_from(counts, total, maximum, 0.50),
             "p90_seconds": self._percentile_from(counts, total, maximum, 0.90),
             "p99_seconds": self._percentile_from(counts, total, maximum, 0.99),
-            "buckets": [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.bounds, counts)
-            ]
-            + [{"le": None, "count": counts[-1]}],
+            "buckets": buckets,
         }
 
 
@@ -373,9 +427,10 @@ class CountingService:
             # a request that spends its whole budget queued times out
             # without ever occupying a worker.
             try:
-                await asyncio.wait_for(
-                    self._slots.acquire(), deadline - loop.time()
-                )
+                with _trace.span("admission.queue", endpoint=endpoint):
+                    await asyncio.wait_for(
+                        self._slots.acquire(), deadline - loop.time()
+                    )
             except (asyncio.TimeoutError, TimeoutError):
                 counters.timeouts += 1
                 raise ServiceTimeout(
@@ -397,8 +452,15 @@ class CountingService:
                     if self._closed and self._owns_engine:
                         self.engine.close()
 
+            # run_in_executor does not propagate contextvars (unlike
+            # asyncio.to_thread); carry the caller's context -- above
+            # all the ambient trace -- onto the executor thread, so
+            # engine spans land in the request's trace.
+            run_context = contextvars.copy_context()
             try:
-                future = loop.run_in_executor(self._executor, guarded)
+                future = loop.run_in_executor(
+                    self._executor, lambda: run_context.run(guarded)
+                )
             except RuntimeError as exc:
                 # The executor was shut down while this request waited
                 # for its slot; release it and answer as a shutdown.
@@ -441,10 +503,16 @@ class CountingService:
         """Release the slot of a timed-out call once its thread ends."""
         self._abandoned -= 1
         self._release_slot()
-        # The result (or error) has no waiter anymore; swallow it so the
-        # event loop does not log "exception was never retrieved".
+        # The result (or error) has no waiter anymore; retrieve it so
+        # the event loop does not log "exception was never retrieved",
+        # but keep the dropped error visible at debug level.
         if not future.cancelled():
-            future.exception()
+            error = future.exception()
+            if error is not None:
+                _log.debug(
+                    "abandoned request finished with an error",
+                    extra={"error": f"{type(error).__name__}: {error}"},
+                )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -491,6 +559,11 @@ class CountingService:
                 "processes": self.engine.pool.processes,
                 "started": self.engine.pool.started,
                 "pinned_structures": len(self.engine.pool.pinned_fingerprints()),
+            },
+            "obs": {
+                "tracing_enabled": _trace.get_tracer().enabled,
+                "traces_retained": len(_trace.get_tracer()),
+                "trace_capacity": _trace.get_tracer().capacity,
             },
         }
 

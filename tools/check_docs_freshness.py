@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Fail when ``docs/http_api.md`` drifts from the server's route table.
+"""Fail when the docs drift from the code's canonical tables.
 
-The HTTP server's canonical route list is
-:data:`repro.serve.httpd.ROUTES`; the API reference documents each
-route as a heading of the form ``### `METHOD /path```.  This check
-asserts the two sets are *identical* in both directions -- a route
-added to the server without documentation, or documentation for a
-route the server no longer registers, fails CI.
+Two checks, each asserting set equality in *both* directions:
+
+- ``docs/http_api.md`` vs. the HTTP server's canonical route list
+  :data:`repro.serve.httpd.ROUTES` (each route documented as a heading
+  of the form ``### `METHOD /path```);
+- ``docs/observability.md`` vs. the Prometheus metric families
+  :func:`repro.obs.prom.family_names` says a ``/metrics`` render
+  emits (each family mentioned by name somewhere in the page).
+
+A route or metric added to the code without documentation, or
+documentation for one the code no longer emits, fails CI.
 
 Usage (repo root)::
 
@@ -21,12 +26,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "http_api.md"
+OBS_DOC_PATH = REPO_ROOT / "docs" / "observability.md"
 
 #: The heading form the API reference uses for each endpoint.
 _HEADING = re.compile(
     r"^#{2,4}\s+`(GET|POST|PUT|DELETE|PATCH|HEAD)\s+(/\S*)`\s*$",
     re.MULTILINE,
 )
+
+#: Anything that looks like one of our Prometheus metric names.
+_METRIC_TOKEN = re.compile(r"\brepro_[a-z0-9_]+\b")
+
+#: Histogram sample suffixes that resolve to their base family.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
 
 
 def documented_routes(text: str) -> set[tuple[str, str]]:
@@ -66,16 +78,74 @@ def check(doc_path: Path = DOC_PATH) -> list[str]:
     return problems
 
 
+def documented_metrics(text: str) -> set[str]:
+    """Every ``repro_*`` token mentioned in the observability page."""
+    return set(_METRIC_TOKEN.findall(text))
+
+
+def emitted_metrics() -> set[str]:
+    """The deterministic family set a ``/metrics`` render emits."""
+    from repro.obs.prom import family_names
+
+    return family_names()
+
+
+def check_metrics(doc_path: Path = OBS_DOC_PATH) -> list[str]:
+    """Drift between documented and emitted Prometheus families."""
+    problems: list[str] = []
+    if not doc_path.exists():
+        return [f"{doc_path} does not exist"]
+    documented = documented_metrics(doc_path.read_text(encoding="utf-8"))
+    emitted = emitted_metrics()
+    for family in sorted(emitted - documented):
+        problems.append(
+            f"metric family {family} is emitted by /metrics but never "
+            f"mentioned in {doc_path.name}"
+        )
+    # Documented tokens must be a family name or a histogram sample of
+    # one (``_bucket``/``_sum``/``_count``) -- anything else is stale.
+    for token in sorted(documented - emitted):
+        base = next(
+            (
+                token[: -len(suffix)]
+                for suffix in _HISTOGRAM_SUFFIXES
+                if token.endswith(suffix) and token[: -len(suffix)] in emitted
+            ),
+            None,
+        )
+        if base is None:
+            problems.append(
+                f"{doc_path.name} mentions {token}, which /metrics does "
+                "not emit (stale documentation)"
+            )
+    if not documented:
+        problems.append(f"{doc_path.name} documents no repro_* metrics at all")
+    return problems
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     problems = check()
+    metric_problems = check_metrics()
     if problems:
         print("docs/http_api.md is out of sync with the HTTP route table:")
         for problem in problems:
             print(f"  - {problem}")
+    if metric_problems:
+        print(
+            "docs/observability.md is out of sync with the Prometheus "
+            "metric families:"
+        )
+        for problem in metric_problems:
+            print(f"  - {problem}")
+    if problems or metric_problems:
         return 1
-    count = len(registered_routes())
-    print(f"docs freshness OK: all {count} HTTP routes documented, none stale")
+    routes = len(registered_routes())
+    metrics = len(emitted_metrics())
+    print(
+        f"docs freshness OK: all {routes} HTTP routes and {metrics} "
+        "Prometheus metric families documented, none stale"
+    )
     return 0
 
 

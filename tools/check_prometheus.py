@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI scrape check: ``/metrics`` must be valid Prometheus exposition.
+
+Boots the serving stack on an ephemeral port, drives one counting
+request through it, then scrapes ``/metrics`` twice -- once via the
+``?format=prometheus`` query parameter and once via an ``Accept:
+text/plain`` header, the way a real Prometheus scraper negotiates --
+and validates both line by line with
+:func:`repro.obs.prom.validate_exposition`.  Asserts the scrape
+carries the full deterministic family set
+(:func:`repro.obs.prom.family_names`) and that the request just made
+is visible in the counters.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python tools/check_prometheus.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def scrape(base: str, path: str, headers: dict | None = None) -> tuple[str, str]:
+    request = urllib.request.Request(f"{base}{path}", headers=headers or {})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return (
+            response.read().decode("utf-8"),
+            response.headers.get("Content-Type", ""),
+        )
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.prom import CONTENT_TYPE, family_names, parse_exposition
+    from repro.obs.prom import validate_exposition
+    from repro.serve.httpd import BackgroundServer, CountingServer
+    from repro.serve.service import CountingService
+
+    problems: list[str] = []
+    server = CountingServer(service=CountingService(), host="127.0.0.1", port=0)
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+        payload = json.dumps(
+            {
+                "query": "exists z. (E(x, z) & E(z, y))",
+                "structure": {"relations": {"E": [[1, 2], [2, 3], [3, 1]]}},
+            }
+        ).encode()
+        request = urllib.request.Request(
+            f"{base}/count", data=payload, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            count = json.load(response)["count"]
+        if count != 3:
+            problems.append(f"/count returned {count}, expected 3")
+
+        by_query, query_type = scrape(base, "/metrics?format=prometheus")
+        by_accept, accept_type = scrape(
+            base, "/metrics", {"Accept": "text/plain"}
+        )
+        for label, content_type in (
+            ("?format=prometheus", query_type),
+            ("Accept: text/plain", accept_type),
+        ):
+            if content_type != CONTENT_TYPE:
+                problems.append(
+                    f"{label}: Content-Type {content_type!r}, "
+                    f"expected {CONTENT_TYPE!r}"
+                )
+        for label, text in (
+            ("?format=prometheus", by_query),
+            ("Accept: text/plain", by_accept),
+        ):
+            for problem in validate_exposition(text):
+                problems.append(f"{label}: {problem}")
+
+        families = parse_exposition(by_query)
+        missing = family_names() - set(families)
+        for family in sorted(missing):
+            problems.append(f"family {family} missing from the scrape")
+        samples = {
+            tuple(sorted(labels.items())): value
+            for name, labels, value in families.get(
+                "repro_requests_total", {"samples": []}
+            )["samples"]
+        }
+        if samples.get((("endpoint", "count"),), 0) < 1:
+            problems.append(
+                "repro_requests_total{endpoint=\"count\"} did not record "
+                "the request just made"
+            )
+
+        # JSON must stay the default for clients that never negotiate.
+        plain, plain_type = scrape(base, "/metrics")
+        if "application/json" not in plain_type:
+            problems.append(
+                f"default /metrics Content-Type {plain_type!r} is not JSON"
+            )
+        else:
+            json.loads(plain)
+
+    if problems:
+        print("/metrics Prometheus exposition check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    lines = sum(1 for line in by_query.splitlines() if line.strip())
+    print(
+        f"prometheus scrape OK: {len(families)} families, {lines} lines, "
+        "valid under both negotiation paths, JSON default intact"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
