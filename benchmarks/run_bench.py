@@ -41,6 +41,14 @@ Plus one observability measurement:
   (``repro.obs.trace``, on by default) on repeated sharded counting:
   traced vs. tracer-disabled-before-fork (target: < 5% overhead).
 
+And the integer-encoding comparison:
+
+* **columnar_core** -- repeated sequential sharded counting on
+  string-element clustered structures at 10^4 / 10^5 / 10^6 tuples,
+  object path vs. the ``array`` (pure python) and ``numpy`` encoded
+  backends (target: >= 3x encoded-vs-object at >= 10^5 tuples), plus a
+  shard-count sweep and per-scenario peak RSS.
+
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
 a pre-``runs`` report found in the file is migrated to its own key, and
@@ -51,6 +59,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --quick \
+        --only columnar_core                                 # one section
 """
 
 from __future__ import annotations
@@ -697,6 +707,146 @@ def bench_tracing_overhead(quick: bool) -> dict:
     }
 
 
+def _string_cluster_graph(
+    clusters: int, cluster_size: int, p: float, seed: int
+):
+    """A clustered graph relabeled to string elements.
+
+    String elements are the realistic (and adversarial-for-the-object-
+    path) case: every object-path join probe hashes and compares
+    strings, while the encoded backends intern them to dense ints once
+    per context.
+    """
+    from repro.structures.structure import Structure
+
+    raw = random_cluster_graph(clusters, cluster_size, p, seed=seed)
+    names = {element: f"v{element}" for element in raw.universe}
+    return Structure(
+        raw.signature,
+        [names[element] for element in raw.universe],
+        {
+            name: {tuple(names[v] for v in row) for row in rows}
+            for name, rows in raw.relations.items()
+        },
+    )
+
+
+def bench_columnar_core(quick: bool) -> dict:
+    """Object path vs. integer-encoded backends on sharded counting.
+
+    The workload is the serving shape the encoding targets: the same
+    quantified 2-path query arrives repeatedly for the same clustered
+    structure and is answered by sequential sharded execution, so every
+    call pays the full per-request cost (context build + per-shard
+    junction-tree DP) on whichever representation the backend picks.
+    Scenarios cover 10^4 / 10^5 / 10^6 tuples (10^4 only under
+    ``--quick``); every backend must return the identical count, and
+    the acceptance bar is >= 3x encoded-vs-object at >= 10^5 tuples.
+    Peak RSS (``ru_maxrss``) is recorded after each backend's runs, and
+    a shard-count sweep on the first scenario shows how the gap scales
+    with shard granularity.
+
+    Scale comes from shard *count*, not shard size: clusters stay at
+    the ~40-node scale where elimination runs through the semijoin /
+    table-DP pipeline. Much larger clusters trip the semijoin blowup
+    guard on every backend, and in that backtracking regime the
+    backends converge instead of separating.
+    """
+    import resource
+
+    from repro.structures.encoding import numpy_available
+
+    backends = ["object", "array"] + (["numpy"] if numpy_available() else [])
+    scenarios = (
+        [("1e4", 60, 16, 0.7, 2)]
+        if quick
+        else [
+            ("1e4", 60, 16, 0.7, 3),
+            ("1e5", 100, 40, 0.65, 2),
+            ("1e6", 1000, 40, 0.65, 1),
+        ]
+    )
+    plan = compile_plan(path_query(2, quantify_interior=True))
+
+    def peak_rss_kb() -> int:
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    rows: list[dict] = []
+    for label, clusters, size, p, repeats in scenarios:
+        structure = _string_cluster_graph(clusters, size, p, seed=7)
+        sharded = shard_structure(structure, clusters)
+        row: dict = {
+            "scenario": label,
+            "clusters": clusters,
+            "cluster_size": size,
+            "tuples": structure.total_tuples,
+            "universe": len(structure.universe),
+            "shard_count": clusters,
+            "repeats": repeats,
+            "backends": {},
+        }
+        counts = set()
+        for backend in backends:
+            seconds, count = _time(
+                lambda: execute_sharded(
+                    plan, sharded, parallel=False, encoding=backend
+                ),
+                repeats=repeats,
+            )
+            counts.add(count)
+            row["backends"][backend] = {
+                "seconds_per_call": seconds,
+                "count": count,
+                "peak_rss_kb": peak_rss_kb(),
+            }
+        assert len(counts) == 1, (label, row["backends"])
+        row["count"] = counts.pop()
+        object_seconds = row["backends"]["object"]["seconds_per_call"]
+        for backend in backends[1:]:
+            encoded_seconds = row["backends"][backend]["seconds_per_call"]
+            row["backends"][backend]["speedup_vs_object"] = (
+                object_seconds / encoded_seconds if encoded_seconds else None
+            )
+        row["best_encoded_speedup"] = max(
+            row["backends"][b]["speedup_vs_object"] or 0.0
+            for b in backends[1:]
+        )
+        rows.append(row)
+
+    # Shard-count sweep on the first scenario: the encoded win must not
+    # be an artifact of one shard granularity.
+    label, clusters, size, p, _ = scenarios[0]
+    structure = _string_cluster_graph(clusters, size, p, seed=7)
+    sweep_backend = backends[-1]  # the best encoded backend available
+    sweep: list[dict] = []
+    for shard_count in sorted({max(1, clusters // 8), clusters // 2, clusters}):
+        sharded = shard_structure(structure, shard_count)
+        entry: dict = {"scenario": label, "shard_count": shard_count}
+        for backend in ("object", sweep_backend):
+            seconds, count = _time(
+                lambda: execute_sharded(
+                    plan, sharded, parallel=False, encoding=backend
+                )
+            )
+            entry[f"{backend}_seconds"] = seconds
+            entry.setdefault("count", count)
+            assert entry["count"] == count
+        entry["speedup"] = (
+            entry["object_seconds"] / entry[f"{sweep_backend}_seconds"]
+            if entry[f"{sweep_backend}_seconds"]
+            else None
+        )
+        sweep.append(entry)
+
+    return {
+        "query": "path2_pairs",
+        "backends": backends,
+        "scenarios": rows,
+        "shard_sweep": {"backend": sweep_backend, "rows": sweep},
+        "best_encoded_speedup": max(r["best_encoded_speedup"] for r in rows),
+    }
+
+
 def append_report(
     output: Path, key: str, report: dict, force: bool = False
 ) -> dict:
@@ -739,6 +889,21 @@ def append_report(
     return store
 
 
+#: Every benchmark section, in report order.  ``--only`` picks a subset.
+SECTIONS = {
+    "scenarios": bench_scenarios,
+    "families": bench_families,
+    "repeated_query": bench_repeated_query,
+    "sharded_counting": bench_sharded_counting,
+    "semijoin_memo": bench_semijoin_memo,
+    "warm_workers": bench_warm_workers,
+    "serving": bench_serving,
+    "registry_serving": bench_registry_serving,
+    "tracing_overhead": bench_tracing_overhead,
+    "columnar_core": bench_columnar_core,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -754,7 +919,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="overwrite an already-recorded run key instead of failing",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SECTION",
+        help="run only this section (repeatable); the run is recorded "
+        "under a distinct key so it never clobbers a full run",
+    )
     args = parser.parse_args(argv)
+
+    selected = list(args.only) if args.only else list(SECTIONS)
+    unknown = [name for name in selected if name not in SECTIONS]
+    if unknown:
+        parser.error(
+            f"unknown section(s) {unknown}; choose from {sorted(SECTIONS)}"
+        )
 
     output = Path(args.output)
     if not output.parent.is_dir():
@@ -763,6 +942,10 @@ def main(argv: list[str] | None = None) -> int:
     # Fail the clobber check *before* spending minutes benchmarking;
     # append_report re-checks at write time regardless.
     run_key = f"{__version__}:{'quick' if args.quick else 'full'}"
+    if args.only:
+        run_key += ":only-" + "+".join(
+            name for name in SECTIONS if name in selected
+        )
     if output.exists() and not args.force:
         try:
             existing = json.loads(output.read_text())
@@ -782,100 +965,136 @@ def main(argv: list[str] | None = None) -> int:
         "version": __version__,
         "python": platform.python_version(),
         "quick": args.quick,
-        "scenarios": bench_scenarios(args.quick),
-        "families": bench_families(args.quick),
-        "repeated_query": bench_repeated_query(args.quick),
-        "sharded_counting": bench_sharded_counting(args.quick),
-        "semijoin_memo": bench_semijoin_memo(args.quick),
-        "warm_workers": bench_warm_workers(args.quick),
-        "serving": bench_serving(args.quick),
-        "registry_serving": bench_registry_serving(args.quick),
-        "tracing_overhead": bench_tracing_overhead(args.quick),
     }
-    repeated = report["repeated_query"]
-    sharded = report["sharded_counting"]
-    semijoin = report["semijoin_memo"]
-    warm_workers = report["warm_workers"]
-    serving = report["serving"]
-    registry_serving = report["registry_serving"]
-    tracing = report["tracing_overhead"]
-    report["summary"] = {
-        "total_seconds": time.perf_counter() - started,
-        "repeated_query_speedup": repeated["speedup"],
-        "scenario_median_speedup": sorted(
+    for name in SECTIONS:
+        if name in selected:
+            report[name] = SECTIONS[name](args.quick)
+
+    summary: dict = {"total_seconds": time.perf_counter() - started}
+    if "repeated_query" in report:
+        summary["repeated_query_speedup"] = report["repeated_query"]["speedup"]
+    if "scenarios" in report:
+        summary["scenario_median_speedup"] = sorted(
             row["speedup"] for row in report["scenarios"]
-        )[len(report["scenarios"]) // 2],
-        "sharded_speedup": sharded["sharded_speedup"],
-        "semijoin_memo_speedup": semijoin["speedup"],
-        "warm_workers_speedup": warm_workers["speedup"],
-        "serving_p99_seconds": serving["latency_p99_seconds"],
-        "serving_throughput_rps": serving["throughput_rps"],
-        "registry_serving_speedup_p50": registry_serving["ref_speedup_p50"],
-        "tracing_overhead_pct": tracing["overhead_pct"],
-    }
+        )[len(report["scenarios"]) // 2]
+    if "sharded_counting" in report:
+        summary["sharded_speedup"] = report["sharded_counting"][
+            "sharded_speedup"
+        ]
+    if "semijoin_memo" in report:
+        summary["semijoin_memo_speedup"] = report["semijoin_memo"]["speedup"]
+    if "warm_workers" in report:
+        summary["warm_workers_speedup"] = report["warm_workers"]["speedup"]
+    if "serving" in report:
+        summary["serving_p99_seconds"] = report["serving"][
+            "latency_p99_seconds"
+        ]
+        summary["serving_throughput_rps"] = report["serving"][
+            "throughput_rps"
+        ]
+    if "registry_serving" in report:
+        summary["registry_serving_speedup_p50"] = report["registry_serving"][
+            "ref_speedup_p50"
+        ]
+    if "tracing_overhead" in report:
+        summary["tracing_overhead_pct"] = report["tracing_overhead"][
+            "overhead_pct"
+        ]
+    if "columnar_core" in report:
+        summary["columnar_core_best_encoded_speedup"] = report[
+            "columnar_core"
+        ]["best_encoded_speedup"]
+    report["summary"] = summary
 
     store = append_report(output, run_key, report, force=args.force)
     output.write_text(json.dumps(store, indent=2) + "\n")
     print(f"appended run {run_key!r} to {output} ({len(store['runs'])} runs kept)")
-    print(
-        f"repeated-query: cold {repeated['cold_seconds']:.4f}s, "
-        f"warm {repeated['warm_seconds']:.4f}s, "
-        f"speedup {repeated['speedup']:.1f}x"
-    )
-    print(
-        f"sharded 10^4-tuple counting ({sharded['tuples']} tuples): "
-        f"whole {sharded['whole_single_process_seconds']:.4f}s, "
-        f"sharded-parallel {sharded['sharded_parallel_seconds']:.4f}s, "
-        f"speedup {sharded['sharded_speedup']:.1f}x"
-    )
-    print(
-        f"semijoin+memo vs per-term backtracking: "
-        f"{semijoin['semijoin_memo_seconds']:.4f}s vs "
-        f"{semijoin['backtracking_seconds']:.4f}s, "
-        f"speedup {semijoin['speedup']:.1f}x"
-    )
-    print(
-        f"warm workers ({warm_workers['tuples']} tuples, "
-        f"{warm_workers['repeats']} repeat calls): "
-        f"cold pool {warm_workers['cold_pool_seconds']:.4f}s, "
-        f"resident pool {warm_workers['resident_pool_seconds']:.4f}s, "
-        f"speedup {warm_workers['speedup']:.1f}x "
-        f"({warm_workers['worker_context_hits']} worker context hits)"
-    )
+
     def _ms(seconds: float | None) -> str:
         # A run where nothing completed has no percentiles; the print
         # must still show the failed/rejected counts that explain why.
         return "n/a" if seconds is None else f"{seconds * 1000:.1f}ms"
 
-    rps = serving["throughput_rps"]
-    print(
-        f"serving ({serving['clients']} clients x "
-        f"{serving['requests_per_client']} requests over HTTP): "
-        f"{serving['completed']} completed"
-        + (f" at {rps:.1f} req/s" if rps is not None else "")
-        + f" ({serving['failed']} failed), "
-        f"p50 {_ms(serving['latency_p50_seconds'])}, "
-        f"p99 {_ms(serving['latency_p99_seconds'])}; "
-        f"burst of {serving['burst_size']}: "
-        f"{serving['burst_rejected_429']} rejected (429); "
-        f"{serving['lingering_children']} children after shutdown"
-    )
-    print(
-        f"registry serving ({registry_serving['tuples']} tuples, "
-        f"{registry_serving['requests_per_mode']} requests/mode): "
-        f"inline p50 {_ms(registry_serving['inline_p50_seconds'])} "
-        f"({registry_serving['inline_request_bytes']} B/request) vs "
-        f"ref p50 {_ms(registry_serving['ref_p50_seconds'])} "
-        f"({registry_serving['ref_request_bytes']} B/request), "
-        f"speedup {registry_serving['ref_speedup_p50']:.1f}x"
-    )
-    print(
-        f"tracing overhead ({tracing['tuples']} tuples, "
-        f"{tracing['calls']} sharded calls): "
-        f"traced p50 {_ms(tracing['traced_p50_seconds'])} vs "
-        f"untraced p50 {_ms(tracing['untraced_p50_seconds'])} "
-        f"({tracing['overhead_pct']:+.1f}%)"
-    )
+    if "repeated_query" in report:
+        repeated = report["repeated_query"]
+        print(
+            f"repeated-query: cold {repeated['cold_seconds']:.4f}s, "
+            f"warm {repeated['warm_seconds']:.4f}s, "
+            f"speedup {repeated['speedup']:.1f}x"
+        )
+    if "sharded_counting" in report:
+        sharded = report["sharded_counting"]
+        print(
+            f"sharded 10^4-tuple counting ({sharded['tuples']} tuples): "
+            f"whole {sharded['whole_single_process_seconds']:.4f}s, "
+            f"sharded-parallel {sharded['sharded_parallel_seconds']:.4f}s, "
+            f"speedup {sharded['sharded_speedup']:.1f}x"
+        )
+    if "semijoin_memo" in report:
+        semijoin = report["semijoin_memo"]
+        print(
+            f"semijoin+memo vs per-term backtracking: "
+            f"{semijoin['semijoin_memo_seconds']:.4f}s vs "
+            f"{semijoin['backtracking_seconds']:.4f}s, "
+            f"speedup {semijoin['speedup']:.1f}x"
+        )
+    if "warm_workers" in report:
+        warm_workers = report["warm_workers"]
+        print(
+            f"warm workers ({warm_workers['tuples']} tuples, "
+            f"{warm_workers['repeats']} repeat calls): "
+            f"cold pool {warm_workers['cold_pool_seconds']:.4f}s, "
+            f"resident pool {warm_workers['resident_pool_seconds']:.4f}s, "
+            f"speedup {warm_workers['speedup']:.1f}x "
+            f"({warm_workers['worker_context_hits']} worker context hits)"
+        )
+    if "serving" in report:
+        serving = report["serving"]
+        rps = serving["throughput_rps"]
+        print(
+            f"serving ({serving['clients']} clients x "
+            f"{serving['requests_per_client']} requests over HTTP): "
+            f"{serving['completed']} completed"
+            + (f" at {rps:.1f} req/s" if rps is not None else "")
+            + f" ({serving['failed']} failed), "
+            f"p50 {_ms(serving['latency_p50_seconds'])}, "
+            f"p99 {_ms(serving['latency_p99_seconds'])}; "
+            f"burst of {serving['burst_size']}: "
+            f"{serving['burst_rejected_429']} rejected (429); "
+            f"{serving['lingering_children']} children after shutdown"
+        )
+    if "registry_serving" in report:
+        registry_serving = report["registry_serving"]
+        print(
+            f"registry serving ({registry_serving['tuples']} tuples, "
+            f"{registry_serving['requests_per_mode']} requests/mode): "
+            f"inline p50 {_ms(registry_serving['inline_p50_seconds'])} "
+            f"({registry_serving['inline_request_bytes']} B/request) vs "
+            f"ref p50 {_ms(registry_serving['ref_p50_seconds'])} "
+            f"({registry_serving['ref_request_bytes']} B/request), "
+            f"speedup {registry_serving['ref_speedup_p50']:.1f}x"
+        )
+    if "tracing_overhead" in report:
+        tracing = report["tracing_overhead"]
+        print(
+            f"tracing overhead ({tracing['tuples']} tuples, "
+            f"{tracing['calls']} sharded calls): "
+            f"traced p50 {_ms(tracing['traced_p50_seconds'])} vs "
+            f"untraced p50 {_ms(tracing['untraced_p50_seconds'])} "
+            f"({tracing['overhead_pct']:+.1f}%)"
+        )
+    if "columnar_core" in report:
+        columnar = report["columnar_core"]
+        for row in columnar["scenarios"]:
+            parts = ", ".join(
+                f"{backend} {row['backends'][backend]['seconds_per_call']:.3f}s"
+                for backend in columnar["backends"]
+            )
+            print(
+                f"columnar core ({row['scenario']}: {row['tuples']} tuples, "
+                f"{row['shard_count']} shards): {parts}; best encoded "
+                f"speedup {row['best_encoded_speedup']:.1f}x"
+            )
     return 0
 
 

@@ -74,7 +74,7 @@ from repro.engine import (
     execute_sharded,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ReproError",

@@ -34,11 +34,18 @@ module implements both the structural notions and the algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import TYPE_CHECKING, Sequence
 
 import networkx as nx
 
-from repro.algorithms.csp import Constraint, CSPInstance, count_solutions
+from repro.algorithms.csp import (
+    Constraint,
+    CSPInstance,
+    count_solutions,
+    count_solutions_tables,
+    table_from_scope,
+)
 from repro.algorithms.decomposition import TreeDecomposition
 from repro.algorithms.treewidth import treewidth
 from repro.logic.pp import PPFormula
@@ -67,6 +74,32 @@ class ExistsComponent:
     @property
     def vertices(self) -> frozenset[Variable]:
         return self.interior | self.boundary
+
+    # The two orderings below are recomputed on every elimination /
+    # plan execution on the hot path; caching them on the (immutable)
+    # component hoists the sorts to compile time.  cached_property
+    # writes into __dict__ directly, which bypasses the frozen
+    # dataclass __setattr__ -- safe because the derived values are
+    # pure functions of the frozen fields.
+    @cached_property
+    def boundary_order(self) -> tuple[Variable, ...]:
+        """The boundary in the fixed column order (sorted by name)."""
+        return tuple(sorted(self.boundary, key=lambda v: v.name))
+
+    @cached_property
+    def atom_scopes(self) -> tuple[tuple[str, tuple[Variable, ...]], ...]:
+        """The component's atoms as repr-sorted ``(relation, scope)``
+        pairs -- the canonical order the semijoin sweep consumes."""
+        return tuple(
+            sorted(
+                (
+                    (name, t)
+                    for name, tuples in self.structure.relations.items()
+                    for t in tuples
+                ),
+                key=repr,
+            )
+        )
 
 
 def _core_or_self(formula: PPFormula, use_core: bool) -> PPFormula:
@@ -243,6 +276,8 @@ def execute_pp_plan(
         from repro.engine.context import ExecutionContext
 
         context = ExecutionContext(structure)
+    if context.encoding_active:
+        return _execute_pp_plan_encoded(plan, context)
 
     constraints: list[Constraint] = []
     for name, scope in plan.liberal_atom_scopes:
@@ -254,7 +289,7 @@ def execute_pp_plan(
     # Each ∃-component is replaced by the relation over its boundary of
     # assignments that extend into the component.
     for component in plan.components:
-        boundary = sorted(component.boundary, key=lambda v: v.name)
+        boundary = component.boundary_order
         if not boundary:
             # A pp-sentence part: it contributes a factor 1 if satisfiable
             # on the structure and 0 otherwise.
@@ -262,10 +297,45 @@ def execute_pp_plan(
                 return 0
             continue
         allowed = context.boundary_relation(component)
-        constraints.append(Constraint(tuple(boundary), allowed))
+        constraints.append(Constraint(boundary, allowed))
 
     instance = CSPInstance.build(plan.liberal_order, list(context.domain), constraints)
     return count_solutions(instance, decomposition=plan.decomposition, strategy="auto")
+
+
+def _execute_pp_plan_encoded(plan: PPCountingPlan, context: "ExecutionContext") -> int:
+    """The encoded execution of a pp-plan: tables of dense-int rows
+    end to end, no decoding anywhere.
+
+    Liberal-atom tables come from the context's columnar relations
+    (repeated scope variables collapse to equality-filtered distinct
+    columns), ∃-component boundary tables from
+    :meth:`~repro.engine.context.ExecutionContext.
+    boundary_relation_encoded`, and the final count runs through the
+    join-driven junction-tree DP :func:`count_solutions_tables` over
+    the plan's precomputed decomposition.  Because the encoding is a
+    bijection between the universe and ``range(n)``, the count equals
+    the object-path count exactly.
+    """
+    encoded = context.encoded
+    tables: list[tuple[tuple[Variable, ...], frozenset]] = []
+    for name, scope in plan.liberal_atom_scopes:
+        # relation_rows raises SignatureError for unknown names exactly
+        # like Structure.relation on the object path.
+        tables.append(table_from_scope(scope, encoded.relation_rows(name)))
+    for component in plan.components:
+        boundary = component.boundary_order
+        if not boundary:
+            if not context.component_satisfiable(component):
+                return 0
+            continue
+        tables.append((boundary, context.boundary_relation_encoded(component)))
+    return count_solutions_tables(
+        plan.liberal_order,
+        encoded.size,
+        tables,
+        decomposition=plan.decomposition,
+    )
 
 
 def count_pp_answers_fpt(

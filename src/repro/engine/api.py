@@ -87,8 +87,12 @@ class EngineStats:
     :class:`~repro.engine.registry.UnknownStructureError`);
     ``registry_registrations`` / ``registry_evictions`` count
     ``register_structure`` calls and capacity evictions.
-    ``compile_seconds`` is time spent compiling plans,
-    ``execute_seconds`` time spent executing them.
+    ``encoded_eliminations`` counts ∃-component eliminations served
+    over the dense-int encoding (zero unless ``Engine(encoding=...)``
+    or ``REPRO_ENCODING`` enabled it), and ``encoded_resident_bytes``
+    is the approximate resident size of the encodings held by the
+    parent-side context cache.  ``compile_seconds`` is time spent
+    compiling plans, ``execute_seconds`` time spent executing them.
     """
 
     count_calls: int = 0
@@ -112,6 +116,8 @@ class EngineStats:
     registry_misses: int = 0
     registry_registrations: int = 0
     registry_evictions: int = 0
+    encoded_eliminations: int = 0
+    encoded_resident_bytes: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
     strategies: dict[str, int] = field(default_factory=dict)
@@ -165,6 +171,8 @@ class EngineStats:
             "registry_misses": self.registry_misses,
             "registry_registrations": self.registry_registrations,
             "registry_evictions": self.registry_evictions,
+            "encoded_eliminations": self.encoded_eliminations,
+            "encoded_resident_bytes": self.encoded_resident_bytes,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "strategies": dict(self.strategies),
@@ -204,6 +212,17 @@ class Engine:
     registry_max_entries / registry_max_bytes:
         Capacity of the engine-created registry (ignored when
         ``registry`` is given).
+    encoding:
+        The execution backend (see
+        :func:`repro.structures.encoding.resolve_backend`):
+        ``"object"`` (default) keeps the object-tuple evaluators;
+        ``"array"`` / ``"numpy"`` / ``"auto"`` intern every served
+        structure's universe to dense ints and run the semijoin
+        pipeline and pp-plan DP over the encoding (bit-for-bit exact).
+        ``None`` consults the ``REPRO_ENCODING`` environment variable.
+        Resolved once here and threaded through the context cache, the
+        worker pool (pinned and LRU-resident worker contexts), and the
+        sequential sharded path.
     """
 
     def __init__(
@@ -217,9 +236,15 @@ class Engine:
         registry: StructureRegistry | None = None,
         registry_max_entries: int = DEFAULT_REGISTRY_MAX_ENTRIES,
         registry_max_bytes: int = DEFAULT_REGISTRY_MAX_BYTES,
+        encoding: str | None = None,
     ):
+        from repro.structures.encoding import resolve_backend
+
+        self.encoding = resolve_backend(encoding)
         self.plans = PlanCache(plan_cache_size)
-        self.contexts = ExecutionContextCache(context_cache_size)
+        self.contexts = ExecutionContextCache(
+            context_cache_size, encoding=self.encoding
+        )
         self.max_disjuncts = max_disjuncts
         self.store = (
             PlanStore(persistent_cache_dir)
@@ -230,7 +255,9 @@ class Engine:
             max_entries=registry_max_entries, max_bytes=registry_max_bytes
         )
         self.pool = WorkerPool(
-            processes=processes, context_capacity=worker_context_cache_size
+            processes=processes,
+            context_capacity=worker_context_cache_size,
+            encoding=self.encoding,
         )
         self._lock = threading.Lock()
         self._compile_seconds = 0.0
@@ -512,6 +539,7 @@ class Engine:
                     parallel=parallel,
                     processes=processes,
                     pool=self.pool,
+                    encoding=self.encoding,
                 )
             else:
                 result = execute(plan, structure, None)
@@ -612,6 +640,8 @@ class Engine:
                 registry_misses=registry_misses,
                 registry_registrations=registrations,
                 registry_evictions=evictions,
+                encoded_eliminations=context_stats.encoded_eliminations,
+                encoded_resident_bytes=self.contexts.encoded_bytes(),
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),

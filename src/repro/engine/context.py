@@ -30,12 +30,18 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.structures.encoding import (
+    EncodedStructure,
+    NumpyTableOps,
+    TableOverflow,
+    resolve_backend,
+)
 from repro.structures.homomorphism import (
     enumerate_extendable_assignments,
     has_homomorphism,
 )
 from repro.obs import trace as _trace
-from repro.structures.indexes import PositionalIndex
+from repro.structures.indexes import EncodedPositionalIndex, PositionalIndex
 from repro.structures.structure import Element, Structure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fpt_counting
@@ -64,7 +70,11 @@ class ContextStats:
     structure on the sequential paths).  ``boundary_hits`` /
     ``boundary_misses`` count lookups of memoized ∃-component boundary
     relations; ``semijoin_eliminations`` / ``backtracking_eliminations``
-    count which evaluator served each miss.
+    count which evaluator served each miss.  ``encoded_eliminations``
+    counts the misses served over the dense-int encoding (every such
+    miss is *also* attributed to semijoin or backtracking, so with
+    encoding on ``encoded == semijoin + backtracking`` and with it off
+    ``encoded == 0``).
 
     A sink is shared by every context a cache creates and may be
     updated from many threads at once, so mutation goes through
@@ -78,6 +88,7 @@ class ContextStats:
     boundary_misses: int = 0
     semijoin_eliminations: int = 0
     backtracking_eliminations: int = 0
+    encoded_eliminations: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -96,6 +107,7 @@ class ContextStats:
                 boundary_misses=self.boundary_misses,
                 semijoin_eliminations=self.semijoin_eliminations,
                 backtracking_eliminations=self.backtracking_eliminations,
+                encoded_eliminations=self.encoded_eliminations,
             )
 
     def reset(self) -> None:
@@ -106,6 +118,7 @@ class ContextStats:
             self.boundary_misses = 0
             self.semijoin_eliminations = 0
             self.backtracking_eliminations = 0
+            self.encoded_eliminations = 0
 
     def as_dict(self) -> dict:
         return {
@@ -114,6 +127,7 @@ class ContextStats:
             "boundary_misses": self.boundary_misses,
             "semijoin_eliminations": self.semijoin_eliminations,
             "backtracking_eliminations": self.backtracking_eliminations,
+            "encoded_eliminations": self.encoded_eliminations,
         }
 
 
@@ -122,8 +136,12 @@ class _SemijoinBlowup(Exception):
 
 
 def _boundary_order(component: "ExistsComponent") -> tuple["Variable", ...]:
-    """The fixed column order of a component's boundary relation."""
-    return tuple(sorted(component.boundary, key=lambda v: v.name))
+    """The fixed column order of a component's boundary relation.
+
+    Delegates to the cached tuple on the component, so the sort happens
+    once per component rather than once per elimination.
+    """
+    return component.boundary_order
 
 
 class ExecutionContext:
@@ -143,6 +161,14 @@ class ExecutionContext:
         baseline).
     memoize:
         Enable the per-(component, structure) boundary-relation memo.
+    encoding:
+        The execution backend (see
+        :func:`repro.structures.encoding.resolve_backend`): ``"object"``
+        (default) runs the pre-existing object-tuple evaluators;
+        ``"array"``/``"numpy"`` intern the universe to dense ints and
+        run the semijoin pipeline and the pp-plan DP over the encoding,
+        decoding only at result boundaries.  ``None`` consults the
+        ``REPRO_ENCODING`` environment variable.
     """
 
     __slots__ = (
@@ -151,9 +177,14 @@ class ExecutionContext:
         "semijoin",
         "memoize",
         "semijoin_max_boundary",
+        "encoding",
         "_index",
         "_domain",
+        "_encoded",
+        "_encoded_index",
         "_boundary_memo",
+        "_boundary_memo_encoded",
+        "_base_table_memo",
         "_satisfiable_memo",
         "_sentence_memo",
         "_sharded_memo",
@@ -167,15 +198,21 @@ class ExecutionContext:
         semijoin: bool = True,
         memoize: bool = True,
         semijoin_max_boundary: int = SEMIJOIN_MAX_BOUNDARY,
+        encoding: str | None = None,
     ):
         self.structure = structure
         self.stats = stats if stats is not None else ContextStats()
         self.semijoin = semijoin
         self.memoize = memoize
         self.semijoin_max_boundary = semijoin_max_boundary
+        self.encoding = resolve_backend(encoding)
         self._index: PositionalIndex | None = None
         self._domain: tuple[Element, ...] | None = None
+        self._encoded: EncodedStructure | None = None
+        self._encoded_index: EncodedPositionalIndex | None = None
         self._boundary_memo: dict["ExistsComponent", frozenset] = {}
+        self._boundary_memo_encoded: dict["ExistsComponent", frozenset] = {}
+        self._base_table_memo: dict[tuple, tuple] = {}
         self._satisfiable_memo: dict["ExistsComponent", bool] = {}
         self._sentence_memo: dict["PPFormula", bool] = {}
         self._sharded_memo: dict[tuple[int, str], "ShardedStructure"] = {}
@@ -197,8 +234,59 @@ class ExecutionContext:
     def domain(self) -> tuple[Element, ...]:
         """The universe in the deterministic order the CSP layer uses."""
         if self._domain is None:
-            self._domain = tuple(sorted(self.structure.universe, key=repr))
+            if self._encoded is not None:
+                self._domain = self._encoded.decode
+            else:
+                self._domain = tuple(sorted(self.structure.universe, key=repr))
         return self._domain
+
+    # ------------------------------------------------------------------
+    # Dense-int encoding
+    # ------------------------------------------------------------------
+    @property
+    def encoding_active(self) -> bool:
+        """Does this context execute over the dense-int encoding?"""
+        return self.encoding != "object"
+
+    @property
+    def encoded(self) -> EncodedStructure:
+        """The dense-int columnar encoding of the structure (lazily
+        built under a ``context.encode`` span)."""
+        if self._encoded is None:
+            with _trace.span(
+                "context.encode",
+                universe=len(self.structure),
+                tuples=self.structure.total_tuples,
+                backend=self.encoding,
+            ):
+                self._encoded = EncodedStructure(self.structure)
+        return self._encoded
+
+    @property
+    def encoded_index(self) -> EncodedPositionalIndex:
+        """The int-keyed positional index over the encoding."""
+        if self._encoded_index is None:
+            with _trace.span(
+                "context.build", universe=len(self.structure)
+            ):
+                self._encoded_index = EncodedPositionalIndex(self.encoded)
+            self.stats.bump("index_builds")
+        return self._encoded_index
+
+    @property
+    def encoded_nbytes(self) -> int:
+        """Approximate resident bytes of the encoding (0 when unbuilt)."""
+        return self._encoded.nbytes if self._encoded is not None else 0
+
+    def _table_ops(self):
+        """The semijoin table backend for the active encoding."""
+        if self.encoding == "numpy":
+            return NumpyTableOps(
+                self.encoded,
+                row_cap=SEMIJOIN_ROW_CAP,
+                memo=self._base_table_memo,
+            )
+        return _PyTableOps(self.encoded_index, memo=self._base_table_memo)
 
     def materialize(self) -> "ExecutionContext":
         """Build the lazy data-derived state (index, domain) eagerly.
@@ -207,10 +295,17 @@ class ExecutionContext:
         context being *pinned* (worker-resident for a registered
         structure; see :mod:`repro.engine.registry`) should pay its
         materialization at pin time, off the request path, so the first
-        post-pin count is as warm as every later one.  Idempotent;
+        post-pin count is as warm as every later one.  With encoding
+        active this is also where the structure pays its one-time
+        interning (``context.encode`` span), so registered structures
+        encode at registration, not on the request path.  Idempotent;
         returns ``self`` for chaining.
         """
-        self.index  # noqa: B018 - property access builds the index
+        if self.encoding_active:
+            self.encoded  # noqa: B018 - property access interns the universe
+            self.encoded_index  # noqa: B018
+        else:
+            self.index  # noqa: B018 - property access builds the index
         self.domain  # noqa: B018
         return self
 
@@ -220,14 +315,39 @@ class ExecutionContext:
     def boundary_relation(self, component: "ExistsComponent") -> frozenset:
         """The relation over the component's boundary (sorted by name):
         the boundary assignments that extend to a homomorphism of the
-        component into the structure.  Memoized per component."""
+        component into the structure.  Memoized per component.  Always
+        returns *object* tuples; with encoding active they are decoded
+        from :meth:`boundary_relation_encoded` at this boundary."""
         if self.memoize and component in self._boundary_memo:
             self.stats.bump("boundary_hits")
             return self._boundary_memo[component]
+        if self.encoding_active and not self.structure.is_empty():
+            relation = self.encoded.decode_rows(
+                self.boundary_relation_encoded(component)
+            )
+            if self.memoize:
+                self._boundary_memo[component] = relation
+            return relation
         self.stats.bump("boundary_misses")
         relation = self._eliminate(component, _boundary_order(component))
         if self.memoize:
             self._boundary_memo[component] = relation
+        return relation
+
+    def boundary_relation_encoded(self, component: "ExistsComponent") -> frozenset:
+        """The boundary relation as dense-int tuples (no decoding).
+
+        The encoded pp-plan DP consumes this directly; column order is
+        the same :attr:`ExistsComponent.boundary_order` the object path
+        uses.  Memoized per component like :meth:`boundary_relation`.
+        """
+        if self.memoize and component in self._boundary_memo_encoded:
+            self.stats.bump("boundary_hits")
+            return self._boundary_memo_encoded[component]
+        self.stats.bump("boundary_misses")
+        relation = self._eliminate_encoded(component, component.boundary_order)
+        if self.memoize:
+            self._boundary_memo_encoded[component] = relation
         return relation
 
     def component_satisfiable(self, component: "ExistsComponent") -> bool:
@@ -236,7 +356,10 @@ class ExecutionContext:
             self.stats.bump("boundary_hits")
             return self._satisfiable_memo[component]
         self.stats.bump("boundary_misses")
-        satisfiable = bool(self._eliminate(component, ()))
+        if self.encoding_active and not self.structure.is_empty():
+            satisfiable = bool(self._eliminate_encoded(component, ()))
+        else:
+            satisfiable = bool(self._eliminate(component, ()))
         if self.memoize:
             self._satisfiable_memo[component] = satisfiable
         return satisfiable
@@ -269,6 +392,14 @@ class ExecutionContext:
             return self._sentence_memo[sentence]
         if self.structure.is_empty():
             holds = not sentence.variables
+        elif self.encoding_active:
+            # Satisfiability is invariant under the encoding isomorphism;
+            # run the search over the int structure and int-keyed index.
+            holds = has_homomorphism(
+                sentence.structure,
+                self.encoded.int_structure(),
+                target_index=self.encoded_index,
+            )
         else:
             holds = has_homomorphism(
                 sentence.structure, self.structure, target_index=self.index
@@ -297,7 +428,11 @@ class ExecutionContext:
             ) as attempt:
                 try:
                     relation = _semijoin_project(
-                        component.structure, self.index, boundary
+                        component.structure,
+                        self.index,
+                        boundary,
+                        scopes=component.atom_scopes,
+                        ops=_PyTableOps(self.index, memo=self._base_table_memo),
                     )
                 except _SemijoinBlowup:
                     relation = None
@@ -318,6 +453,66 @@ class ExecutionContext:
             allowed.add(tuple(assignment[v] for v in boundary))
         return frozenset(allowed)
 
+    def _eliminate_encoded(
+        self, component: "ExistsComponent", boundary: tuple["Variable", ...]
+    ) -> frozenset:
+        """Compute a boundary relation as dense-int tuples.
+
+        Same semijoin-first-with-fallback shape as :meth:`_eliminate`,
+        but every table carries encoded values: base tables come from
+        the columnar relations, joins hash machine ints (or run
+        vectorized under the numpy backend), and the backtracking
+        fallback searches the isomorphic int structure.  Every call is
+        counted in ``encoded_eliminations`` on top of the per-evaluator
+        attribution.
+        """
+        if self.structure.is_empty():
+            # Callers short-circuit earlier; purely defensive, as in
+            # _eliminate.
+            return frozenset()
+        self.stats.bump("encoded_eliminations")
+        if (
+            self.semijoin
+            and len(boundary) <= self.semijoin_max_boundary
+            and component.structure.signature.is_subsignature_of(
+                self.structure.signature
+            )
+        ):
+            with _trace.span(
+                "context.semijoin",
+                boundary=len(boundary),
+                backend=self.encoding,
+            ) as attempt:
+                try:
+                    relation = _semijoin_project(
+                        component.structure,
+                        self.encoded_index,
+                        boundary,
+                        scopes=component.atom_scopes,
+                        ops=self._table_ops(),
+                    )
+                except (_SemijoinBlowup, TableOverflow):
+                    relation = None
+                    attempt.set("outcome", "blowup")
+                else:
+                    attempt.set(
+                        "outcome",
+                        "cyclic" if relation is None else "eliminated",
+                    )
+            if relation is not None:
+                self.stats.bump("semijoin_eliminations")
+                return relation
+        self.stats.bump("backtracking_eliminations")
+        allowed = set()
+        for assignment in enumerate_extendable_assignments(
+            component.structure,
+            self.encoded.int_structure(),
+            boundary,
+            self.encoded_index,
+        ):
+            allowed.add(tuple(assignment[v] for v in boundary))
+        return frozenset(allowed)
+
     # ------------------------------------------------------------------
     # Sharding
     # ------------------------------------------------------------------
@@ -333,8 +528,11 @@ class ExecutionContext:
         return self._sharded_memo[key]
 
     def clear(self) -> None:
-        """Drop all memoized state (the index stays, it is immutable)."""
+        """Drop all memoized state (the index and the encoding stay,
+        they are immutable)."""
         self._boundary_memo.clear()
+        self._boundary_memo_encoded.clear()
+        self._base_table_memo.clear()
         self._satisfiable_memo.clear()
         self._sentence_memo.clear()
         self._sharded_memo.clear()
@@ -437,8 +635,50 @@ def _project(table: tuple[tuple, set], keep: tuple) -> tuple[tuple, set]:
     return keep, {tuple(row[i] for i in positions) for row in rows}
 
 
+class _PyTableOps:
+    """Python set-based tables for the semijoin sweep.
+
+    Value-agnostic (works over object tuples and encoded int tuples
+    alike); an optional ``memo`` dict caches base tables per
+    ``(relation_name, scope)`` -- the relations are immutable and joins
+    never mutate their inputs, so cached tables are safe to share
+    across components and calls.
+    """
+
+    __slots__ = ("index", "memo")
+
+    def __init__(self, index, memo: dict | None = None):
+        self.index = index
+        self.memo = memo
+
+    def base_table(self, name: str, scope: tuple) -> tuple[tuple, set]:
+        key = (name, scope)
+        if self.memo is not None and key in self.memo:
+            return self.memo[key]
+        table = _base_table(self.index, name, scope)
+        if self.memo is not None:
+            self.memo[key] = table
+        return table
+
+    def is_empty(self, table: tuple[tuple, set]) -> bool:
+        return not table[1]
+
+    def join(self, left, right):
+        return _join(left, right)
+
+    def project(self, table, keep):
+        return _project(table, keep)
+
+    def finalize(self, table, boundary) -> frozenset:
+        return frozenset(_project(table, tuple(boundary))[1])
+
+
 def _semijoin_project(
-    source: Structure, index: PositionalIndex, boundary: tuple
+    source: Structure,
+    index,
+    boundary: tuple,
+    scopes: tuple | None = None,
+    ops=None,
 ) -> frozenset | None:
     """The projection onto ``boundary`` of the join of ``source``'s atoms
     against the indexed data, or ``None`` when the atom hypergraph is
@@ -457,17 +697,29 @@ def _semijoin_project(
     do not affect the projection (the data universe is non-empty on
     every path that reaches this function), matching the backtracking
     semantics.
+
+    ``scopes`` is the component's atom list in the canonical repr-sorted
+    order; callers holding a compiled component pass its cached
+    :attr:`~repro.algorithms.fpt_counting.ExistsComponent.atom_scopes`
+    so the sort is paid once per component instead of per call.  ``ops``
+    selects the table backend (python sets by default; the encoded
+    paths pass memoizing python ops or vectorized numpy ops).
     """
-    scopes = sorted(
-        (
-            (name, t)
-            for name, tuples in source.relations.items()
-            for t in tuples
-        ),
-        key=repr,
-    )
+    if scopes is None:
+        scopes = tuple(
+            sorted(
+                (
+                    (name, t)
+                    for name, tuples in source.relations.items()
+                    for t in tuples
+                ),
+                key=repr,
+            )
+        )
     if not scopes:
         return None
+    if ops is None:
+        ops = _PyTableOps(index)
     hyperedges = [frozenset(t) for _, t in scopes]
     covered = frozenset().union(*hyperedges)
     if not frozenset(boundary) <= covered:
@@ -479,9 +731,9 @@ def _semijoin_project(
         return None
     boundary_set = frozenset(boundary)
     tables = {
-        i: _base_table(index, name, t) for i, (name, t) in enumerate(scopes)
+        i: ops.base_table(name, t) for i, (name, t) in enumerate(scopes)
     }
-    pending: dict[int, list[tuple[tuple, set]]] = {}
+    pending: dict[int, list] = {}
     root = len(scopes) - 1
     if tree:
         removed_ids = {i for i, _ in tree}
@@ -489,17 +741,17 @@ def _semijoin_project(
     for ear, parent in tree:
         table = tables.pop(ear)
         for child in pending.pop(ear, ()):
-            table = _join(table, child)
+            table = ops.join(table, child)
         keep = tuple(
             c
             for c in table[0]
             if c in boundary_set or c in hyperedges[parent]
         )
-        reduced = _project(table, keep)
-        if not reduced[1]:
+        reduced = ops.project(table, keep)
+        if ops.is_empty(reduced):
             return frozenset()
         pending.setdefault(parent, []).append(reduced)
     table = tables.pop(root)
     for child in pending.pop(root, ()):
-        table = _join(table, child)
-    return frozenset(_project(table, tuple(boundary))[1])
+        table = ops.join(table, child)
+    return ops.finalize(table, boundary)

@@ -144,7 +144,13 @@ def _sentence_holds(sentence, structure: Structure, context) -> bool:
     return context.sentence_holds(sentence)
 
 
-def _map_jobs(task, jobs, processes: int | None, pool: WorkerPool | None) -> list:
+def _map_jobs(
+    task,
+    jobs,
+    processes: int | None,
+    pool: WorkerPool | None,
+    encoding: str | None = None,
+) -> list:
     """Run ``jobs`` through ``pool``, or a throwaway pool when none given.
 
     A caller-supplied pool (the engine's long-lived one) is used as-is
@@ -153,11 +159,13 @@ def _map_jobs(task, jobs, processes: int | None, pool: WorkerPool | None) -> lis
     which case the per-call override wins and a throwaway pool of that
     size runs the jobs.  The throwaway pool is sized to the job list
     and torn down afterwards, matching the old per-call behavior.
+    ``encoding`` only shapes a throwaway pool; a caller-supplied pool
+    already carries its owning engine's backend.
     """
     if pool is not None and (processes is None or processes == pool.processes):
         return pool.map(task, jobs)
     workers = max(1, min(processes or default_process_count(), len(jobs)))
-    with WorkerPool(processes=workers) as transient:
+    with WorkerPool(processes=workers, encoding=encoding) as transient:
         return transient.map(task, jobs)
 
 
@@ -369,10 +377,13 @@ def _sentence_pieces(sentence: PPFormula) -> list[Structure]:
     return [sub for sub, _ in component_substructures(sentence.structure, ())]
 
 
-def _run_shard(job: tuple[tuple[_ShardUnit, ...], Structure]) -> list:
+def _run_shard(
+    job: tuple[tuple[_ShardUnit, ...], Structure],
+    encoding: str | None = None,
+) -> list:
     """Worker: evaluate every unit on one shard through one context."""
     units, shard = job
-    context = ExecutionContext(shard)
+    context = ExecutionContext(shard, encoding=encoding)
     out: list = []
     for unit in units:
         if unit.kind == "count":
@@ -386,6 +397,7 @@ def _run_shard(job: tuple[tuple[_ShardUnit, ...], Structure]) -> list:
 
 def _run_shards_sequential(
     jobs: Sequence[tuple[tuple[_ShardUnit, ...], Structure]],
+    encoding: str | None = None,
 ) -> list[list]:
     """The sequential shard path, with the same spans the pool emits.
 
@@ -395,7 +407,7 @@ def _run_shards_sequential(
     out: list[list] = []
     for index, job in enumerate(jobs):
         with _trace.span(f"shard.execute[{index}]", units=len(job[0])):
-            out.append(_run_shard(job))
+            out.append(_run_shard(job, encoding))
     return out
 
 
@@ -416,6 +428,7 @@ def execute_sharded(
     parallel: bool | None = None,
     processes: int | None = None,
     pool: WorkerPool | None = None,
+    encoding: str | None = None,
 ) -> int:
     """Count the answers of a compiled plan via sharded execution.
 
@@ -431,7 +444,10 @@ def execute_sharded(
     engine's long-lived ``pool`` is passed.
 
     The baseline plan kinds (``naive``, ``disjuncts``) gain nothing from
-    sharding and run whole-structure.
+    sharding and run whole-structure.  ``encoding`` selects the
+    integer-encoding backend for the per-shard contexts built on the
+    sequential path and in throwaway pools; the engine's long-lived
+    pool carries its own backend, set at construction.
     """
     if isinstance(sharded, Structure):
         if shard_count is not None and shard_count < 1:
@@ -460,13 +476,15 @@ def execute_sharded(
             with _trace.span(
                 "shard.fanout", shards=len(jobs), units=len(program.units)
             ):
-                values_by_shard = _map_jobs(shard_task, jobs, processes, pool)
+                values_by_shard = _map_jobs(
+                    shard_task, jobs, processes, pool, encoding
+                )
         except WorkerTaskError as failure:
             raise failure.original from failure
         except _pool_fallback_errors():
-            values_by_shard = _run_shards_sequential(jobs)
+            values_by_shard = _run_shards_sequential(jobs, encoding)
     else:
-        values_by_shard = _run_shards_sequential(jobs)
+        values_by_shard = _run_shards_sequential(jobs, encoding)
 
     with _trace.span(
         "combine", shards=len(shards), terms=len(program.terms)

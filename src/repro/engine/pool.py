@@ -135,24 +135,36 @@ _worker_contexts: OrderedDict | None = None
 _worker_capacity: int = DEFAULT_WORKER_CONTEXT_CAPACITY
 #: Pinned contexts, outside the LRU: fingerprint -> ExecutionContext.
 _worker_pinned: dict | None = None
+#: The encoding backend every context built in this worker uses.
+_worker_encoding: str | None = None
 
 
-def _init_worker(capacity: int, pinned: tuple[Structure, ...] = ()) -> None:
+def _init_worker(
+    capacity: int,
+    pinned: tuple[Structure, ...] = (),
+    encoding: str | None = None,
+) -> None:
     """Pool initializer: empty LRU plus eagerly built pinned contexts.
 
     ``pinned`` is the parent-side pin set at pool (re)creation time, so
     a pool that was closed and lazily restarted comes back with every
     registered structure's context already materialized -- pinning
-    survives pool restarts, not just individual calls.
+    survives pool restarts, not just individual calls.  ``encoding`` is
+    the owning engine's resolved backend; every context this worker
+    builds (pinned here or lazily in :func:`_resident_context`) uses
+    it, so a pinned structure's one-time materialization cost covers
+    the integer encoding too.
     """
     global _worker_contexts, _worker_capacity, _worker_pinned
+    global _worker_encoding
     from repro.engine.context import ExecutionContext
 
     _worker_contexts = OrderedDict()
     _worker_capacity = max(1, capacity)
     _worker_pinned = {}
+    _worker_encoding = encoding
     for structure in pinned:
-        context = ExecutionContext(structure)
+        context = ExecutionContext(structure, encoding=encoding)
         context.materialize()
         _worker_pinned[structure.fingerprint()] = context
 
@@ -180,7 +192,7 @@ def _resident_context(structure: Structure):
     if context is not None:
         _worker_contexts.move_to_end(key)
         return context, True
-    context = ExecutionContext(structure)
+    context = ExecutionContext(structure, encoding=_worker_encoding)
     _worker_contexts[key] = context
     while len(_worker_contexts) > _worker_capacity:
         _worker_contexts.popitem(last=False)
@@ -237,7 +249,9 @@ def pin_structures_task(job) -> _TaskOk | _TaskFailure:
             if context is None and _worker_contexts is not None:
                 context = _worker_contexts.pop(key, None)
             if context is None:
-                context = ExecutionContext(structure)
+                context = ExecutionContext(
+                    structure, encoding=_worker_encoding
+                )
             context.materialize()
             _worker_pinned[key] = context
             pinned += 1
@@ -355,6 +369,11 @@ class WorkerPool:
         Pool size (default: one worker per CPU).
     context_capacity:
         How many execution contexts each worker keeps resident.
+    encoding:
+        Encoding backend for every worker-built execution context
+        (resolved through
+        :func:`repro.structures.encoding.resolve_backend`); the
+        engine passes its own so parent and workers agree.
 
     The underlying :mod:`multiprocessing` pool is created lazily on the
     first :meth:`map`, so constructing a ``WorkerPool`` (an
@@ -371,11 +390,15 @@ class WorkerPool:
         self,
         processes: int | None = None,
         context_capacity: int = DEFAULT_WORKER_CONTEXT_CAPACITY,
+        encoding: str | None = None,
     ):
+        from repro.structures.encoding import resolve_backend
+
         if processes is not None and processes < 1:
             raise ReproError("worker pool needs at least one process")
         self.processes = processes or default_process_count()
         self.context_capacity = context_capacity
+        self.encoding = resolve_backend(encoding)
         self._pool = None
         self._manager = None
         self._lock = threading.Lock()
@@ -403,6 +426,7 @@ class WorkerPool:
                     initargs=(
                         self.context_capacity,
                         tuple(self._pinned.values()),
+                        self.encoding,
                     ),
                 )
             return self._pool

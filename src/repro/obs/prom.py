@@ -46,6 +46,7 @@ ENGINE_COUNTERS = (
     "boundary_memo_misses",
     "semijoin_eliminations",
     "backtracking_eliminations",
+    "encoded_eliminations",
     "worker_context_hits",
     "worker_context_misses",
     "persist_hits",
@@ -94,6 +95,10 @@ _GAUGES = (
      "registry", "max_bytes"),
     ("repro_registry_pinned_entries", "Resident entries exempt from eviction.",
      "registry", "pinned_entries"),
+    ("repro_engine_encoded_resident_bytes",
+     "Approximate bytes of integer-encoded structures resident in the "
+     "engine's context cache.",
+     "engine", "encoded_resident_bytes"),
     ("repro_pool_processes", "Configured worker-pool size.",
      "pool", "processes"),
     ("repro_pool_started", "1 when the worker pool has live processes.",

@@ -23,6 +23,9 @@ their attributes in ``docs/observability.md``):
     ``kind``, ``strategy``);
 ``context.build``
     positional-index construction for one structure;
+``context.encode``
+    one-time dense-int interning of an encoded execution context
+    (attrs: ``universe``, ``tuples``, ``backend``);
 ``context.semijoin``
     one semijoin ∃-component elimination attempt;
 ``shard.fanout``

@@ -1,0 +1,474 @@
+"""Dense-integer encoding of structures: columnar relations, backends.
+
+The object-path evaluators (:mod:`repro.engine.context`,
+:mod:`repro.algorithms.fpt_counting`) operate on Python object tuples
+inside ``dict``-of-``frozenset`` relations.  That is flexible but pays
+object hashing and pointer chasing on every join probe.  This module
+interns a structure's universe to the dense integers ``0..n-1`` and
+re-stores every relation column-major as sorted ``array('q')`` columns,
+so the hot evaluators can run over machine integers and -- when numpy
+is importable -- over vectorized ``int64`` arrays.
+
+Exactness is by construction: the decode table is the universe sorted
+by ``repr``, which is *identical* to the order
+:attr:`repro.engine.context.ExecutionContext.domain` uses, so encoding
+is a bijection between the object domain and ``range(n)`` and every
+count computed over encoded values equals the object-path count.
+Decoding happens only at result boundaries (decoded boundary
+relations); counts never need decoding at all.
+
+Backend selection
+-----------------
+``resolve_backend`` maps a requested backend name (or the
+``REPRO_ENCODING`` environment variable when ``None`` is passed) to one
+of the canonical backends:
+
+``"object"``
+    The pre-existing object-tuple path; encoding is off.
+``"array"``
+    Pure-python execution over the integer encoding (``array('q')``
+    columns, int-tuple hash joins).  No third-party dependencies.
+``"numpy"``
+    Vectorized joins/semijoins over zero-copy ``int64`` views of the
+    columns.  Requesting it explicitly without numpy installed raises
+    :class:`~repro.exceptions.ReproError`.
+``"auto"``
+    ``"numpy"`` when numpy imports, ``"array"`` otherwise.
+
+The numpy probe goes through :func:`_import_numpy` so tests can
+monkeypatch the import to simulate a numpy-less interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import ReproError, SignatureError
+from repro.structures.structure import Element, Structure
+
+#: Environment variable consulted when no backend is requested explicitly.
+ENCODING_ENV_VAR = "REPRO_ENCODING"
+
+#: The canonical backend names ``resolve_backend`` can return.
+BACKENDS = ("object", "array", "numpy")
+
+#: Sentinel meaning "the numpy probe has not run yet".
+_UNPROBED = object()
+
+#: Cached numpy module (or ``None`` when the probe failed).  Tests reset
+#: this to ``_UNPROBED`` together with monkeypatching ``_import_numpy``.
+_numpy_module: object = _UNPROBED
+
+
+def _import_numpy():
+    """Import and return numpy.  Monkeypatched by tests to simulate
+    an interpreter without numpy; keep this a separate function."""
+    import numpy
+
+    return numpy
+
+
+def get_numpy():
+    """The numpy module, or ``None`` when it is not importable."""
+    global _numpy_module
+    if _numpy_module is _UNPROBED:
+        try:
+            _numpy_module = _import_numpy()
+        except Exception:
+            _numpy_module = None
+    return _numpy_module
+
+
+def numpy_available() -> bool:
+    """Does the vectorized backend have its dependency?"""
+    return get_numpy() is not None
+
+
+def resolve_backend(requested: str | None = None) -> str:
+    """Resolve a requested backend name to a canonical backend.
+
+    ``None`` falls back to the ``REPRO_ENCODING`` environment variable
+    and then to ``"object"``.  ``"off"``/``"none"``/empty are aliases
+    for ``"object"``; ``"auto"`` picks ``"numpy"`` when available and
+    ``"array"`` otherwise; an explicit ``"numpy"`` without numpy raises.
+    """
+    if requested is None:
+        requested = os.environ.get(ENCODING_ENV_VAR) or "object"
+    name = str(requested).strip().lower()
+    if name in ("", "off", "none", "object"):
+        return "object"
+    if name == "auto":
+        return "numpy" if numpy_available() else "array"
+    if name == "array":
+        return "array"
+    if name == "numpy":
+        if not numpy_available():
+            raise ReproError(
+                "encoding backend 'numpy' was requested but numpy is not "
+                "importable; use 'array' (pure python) or 'auto'"
+            )
+        return "numpy"
+    raise ReproError(
+        f"unknown encoding backend {requested!r}; expected one of "
+        "'object', 'array', 'numpy', 'auto' or 'off'"
+    )
+
+
+class TableOverflow(Exception):
+    """Internal: an intermediate encoded join table exceeded the row cap."""
+
+
+# ----------------------------------------------------------------------
+# Columnar storage
+# ----------------------------------------------------------------------
+class EncodedRelation:
+    """One relation stored column-major as sorted ``array('q')`` columns.
+
+    Rows are sorted lexicographically before the columns are split, so
+    ``columns[0]`` is non-decreasing and equal-prefix runs are
+    contiguous -- the layout the vectorized backend's sorted-array
+    probes rely on.
+    """
+
+    __slots__ = ("name", "arity", "columns", "row_count")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        columns: tuple[array, ...],
+        row_count: int,
+    ):
+        self.name = name
+        self.arity = arity
+        self.columns = columns
+        self.row_count = row_count
+
+    @classmethod
+    def from_rows(
+        cls, name: str, arity: int, rows: Iterable[tuple[int, ...]]
+    ) -> "EncodedRelation":
+        ordered = sorted(rows)
+        columns = tuple(
+            array("q", (row[i] for row in ordered)) for i in range(arity)
+        )
+        return cls(name, arity, columns, len(ordered))
+
+    def iter_rows(self) -> Iterator[tuple[int, ...]]:
+        if self.arity == 0:  # pragma: no cover - arity-0 symbols unused
+            return iter(() for _ in range(self.row_count))
+        return zip(*self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(col.itemsize * len(col) for col in self.columns)
+
+
+class EncodedStructure:
+    """A structure interned to the dense integer universe ``0..n-1``.
+
+    ``decode`` is the universe sorted by ``repr`` -- the same order the
+    execution context's ``domain`` uses -- so ``decode[i]`` inverts the
+    encoding and counting over ``range(n)`` is exact by bijection.
+    Relations are stored as :class:`EncodedRelation` columns; derived
+    views (int-tuple frozensets, an all-integer :class:`Structure`,
+    numpy column views) are built lazily and excluded from pickling, so
+    a pinned encoded context ships to workers as compact machine arrays
+    rather than object-tuple frozensets.
+    """
+
+    __slots__ = (
+        "signature",
+        "decode",
+        "size",
+        "relations",
+        "_encode",
+        "_tuple_sets",
+        "_int_structure",
+        "_np_columns",
+    )
+
+    def __init__(self, structure: Structure):
+        decode = tuple(sorted(structure.universe, key=repr))
+        arities = {symbol.name: symbol.arity for symbol in structure.signature}
+        encode = {element: i for i, element in enumerate(decode)}
+        relations = {
+            name: EncodedRelation.from_rows(
+                name,
+                arities[name],
+                (tuple(encode[v] for v in t) for t in tuples),
+            )
+            for name, tuples in structure.relations.items()
+        }
+        self._init_from_parts(structure.signature, decode, relations)
+
+    def _init_from_parts(self, signature, decode, relations) -> None:
+        self.signature = signature
+        self.decode = decode
+        self.size = len(decode)
+        self.relations = relations
+        self._encode: dict[Element, int] | None = None
+        self._tuple_sets: dict[str, frozenset[tuple[int, ...]]] = {}
+        self._int_structure: Structure | None = None
+        self._np_columns: dict[str, tuple] = {}
+
+    # -- encoding / decoding -------------------------------------------
+    @property
+    def encode(self) -> dict[Element, int]:
+        if self._encode is None:
+            self._encode = {element: i for i, element in enumerate(self.decode)}
+        return self._encode
+
+    def decode_rows(
+        self, rows: Iterable[tuple[int, ...]]
+    ) -> frozenset[tuple[Element, ...]]:
+        """Map int-tuple rows back to object-tuple rows."""
+        decode = self.decode
+        return frozenset(tuple(decode[v] for v in row) for row in rows)
+
+    # -- derived views --------------------------------------------------
+    def relation_rows(self, name: str) -> frozenset[tuple[int, ...]]:
+        """The relation as a frozenset of int tuples (lazily built).
+
+        Raises :class:`SignatureError` for unknown names, mirroring
+        :meth:`Structure.relation`.
+        """
+        if name not in self.relations:
+            raise SignatureError(f"unknown relation {name!r}")
+        if name not in self._tuple_sets:
+            self._tuple_sets[name] = frozenset(self.relations[name].iter_rows())
+        return self._tuple_sets[name]
+
+    def int_structure(self) -> Structure:
+        """The isomorphic all-integer structure (for backtracking and
+        sentence satisfiability, which are element-agnostic)."""
+        if self._int_structure is None:
+            self._int_structure = Structure(
+                self.signature,
+                range(self.size),
+                {name: self.relation_rows(name) for name in self.relations},
+            )
+        return self._int_structure
+
+    def np_columns(self, name: str) -> tuple:
+        """Zero-copy ``int64`` numpy views of a relation's columns."""
+        if name not in self._np_columns:
+            np = get_numpy()
+            rel = self.relations[name]
+            self._np_columns[name] = tuple(
+                np.frombuffer(col, dtype=np.int64) for col in rel.columns
+            )
+        return self._np_columns[name]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the columnar storage (decode
+        table counted as one pointer per element)."""
+        return 8 * self.size + sum(
+            rel.nbytes for rel in self.relations.values()
+        )
+
+    # -- pickling: ship only the compact columnar state -----------------
+    def __getstate__(self):
+        return (
+            self.signature,
+            self.decode,
+            {
+                name: (rel.name, rel.arity, rel.columns, rel.row_count)
+                for name, rel in self.relations.items()
+            },
+        )
+
+    def __setstate__(self, state) -> None:
+        signature, decode, relations = state
+        self._init_from_parts(
+            signature,
+            decode,
+            {
+                name: EncodedRelation(*parts)
+                for name, parts in relations.items()
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EncodedStructure(|U|={self.size}, "
+            f"{len(self.relations)} relations, {self.nbytes} bytes)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized table operations (numpy backend)
+# ----------------------------------------------------------------------
+class NumpyTableOps:
+    """Vectorized ``(columns, int64 row matrix)`` tables for the
+    semijoin sweep.
+
+    Joins pack the shared-column values of each side into a single
+    mixed-radix ``int64`` key (radix ``n``; falls back to python tuple
+    keys when ``n**k`` would overflow 63 bits), sort one side, and
+    expand matches with ``searchsorted`` + ``repeat`` -- no python-level
+    loop over rows.  Tables keep rows unique (base tables deduplicate,
+    joins of unique inputs on shared columns are unique, projections
+    run through ``unique``), so row counts equal set cardinalities and
+    the row cap has the same meaning as on the object path.
+    """
+
+    __slots__ = ("encoded", "np", "row_cap", "memo")
+
+    def __init__(
+        self,
+        encoded: EncodedStructure,
+        row_cap: int,
+        memo: dict | None = None,
+    ):
+        self.encoded = encoded
+        self.np = get_numpy()
+        self.row_cap = row_cap
+        self.memo = memo
+
+    # -- table constructors ---------------------------------------------
+    def base_table(self, name: str, scope: tuple) -> tuple[tuple, object]:
+        """One atom as a (columns, rows) table; repeated scope variables
+        become equality filters, memoized per ``(name, scope)``."""
+        key = (name, scope)
+        if self.memo is not None and key in self.memo:
+            return self.memo[key]
+        np = self.np
+        raw = self.encoded.np_columns(name)
+        columns: list = []
+        first_pos: list[int] = []
+        for pos, variable in enumerate(scope):
+            if variable not in columns:
+                columns.append(variable)
+                first_pos.append(pos)
+        mask = None
+        for pos, variable in enumerate(scope):
+            anchor = first_pos[columns.index(variable)]
+            if anchor != pos:
+                equal = raw[anchor] == raw[pos]
+                mask = equal if mask is None else (mask & equal)
+        picked = [raw[p] if mask is None else raw[p][mask] for p in first_pos]
+        if picked:
+            rows = np.stack(picked, axis=1)
+        else:  # pragma: no cover - arity-0 symbols unused
+            rows = np.empty((0, 0), dtype=np.int64)
+        if len(set(scope)) != len(scope):
+            # Equality filtering can leave duplicate projected rows.
+            rows = self._dedup(rows)
+        table = (tuple(columns), rows)
+        if self.memo is not None:
+            self.memo[key] = table
+        return table
+
+    def is_empty(self, table: tuple[tuple, object]) -> bool:
+        return table[1].shape[0] == 0
+
+    # -- core operations -------------------------------------------------
+    def join(
+        self, left: tuple[tuple, object], right: tuple[tuple, object]
+    ) -> tuple[tuple, object]:
+        np = self.np
+        left_cols, left_rows = left
+        right_cols, right_rows = right
+        shared = [c for c in right_cols if c in left_cols]
+        extra = [i for i, c in enumerate(right_cols) if c not in left_cols]
+        out_cols = tuple(left_cols) + tuple(right_cols[i] for i in extra)
+        left_n = left_rows.shape[0]
+        right_n = right_rows.shape[0]
+        if left_n == 0 or right_n == 0:
+            return out_cols, np.empty((0, len(out_cols)), dtype=np.int64)
+        if not shared:
+            if left_n * right_n > self.row_cap:
+                raise TableOverflow
+            left_idx = np.repeat(np.arange(left_n), right_n)
+            right_idx = np.tile(np.arange(right_n), left_n)
+        else:
+            left_key = self._pack(left_rows, [left_cols.index(c) for c in shared])
+            right_key = self._pack(right_rows, [right_cols.index(c) for c in shared])
+            if left_key is None or right_key is None:
+                return self._join_tuples(left, right, shared, extra, out_cols)
+            order = np.argsort(right_key, kind="stable")
+            right_sorted = right_key[order]
+            lo = np.searchsorted(right_sorted, left_key, side="left")
+            hi = np.searchsorted(right_sorted, left_key, side="right")
+            counts = hi - lo
+            total = int(counts.sum())
+            if total > self.row_cap:
+                raise TableOverflow
+            left_idx = np.repeat(np.arange(left_n), counts)
+            starts = np.repeat(lo, counts)
+            offsets = np.arange(total) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            right_idx = order[starts + offsets]
+        if extra:
+            out = np.concatenate(
+                [left_rows[left_idx], right_rows[right_idx][:, extra]], axis=1
+            )
+        else:
+            out = left_rows[left_idx]
+        return out_cols, out
+
+    def project(
+        self, table: tuple[tuple, object], keep: tuple
+    ) -> tuple[tuple, object]:
+        columns, rows = table
+        positions = [columns.index(c) for c in keep]
+        if not positions:
+            # Zero columns: the projection is {()} iff any row survives.
+            return tuple(keep), rows[:0, :0] if rows.shape[0] == 0 else rows[:1, :0]
+        return tuple(keep), self._dedup(rows[:, positions])
+
+    def finalize(self, table: tuple[tuple, object], boundary: tuple) -> frozenset:
+        """Decode-free exit: project and freeze into int tuples."""
+        _, rows = self.project(table, tuple(boundary))
+        return frozenset(map(tuple, rows.tolist()))
+
+    # -- helpers ---------------------------------------------------------
+    def _dedup(self, rows):
+        np = self.np
+        if rows.shape[0] <= 1:
+            return rows
+        key = self._pack(rows, list(range(rows.shape[1])))
+        if key is None:
+            return np.unique(rows, axis=0)
+        _, index = np.unique(key, return_index=True)
+        return rows[index]
+
+    def _pack(self, rows, positions: Sequence[int]):
+        """Mixed-radix int64 key over ``positions``; ``None`` when the
+        packed width would overflow 63 bits."""
+        np = self.np
+        radix = max(self.encoded.size, 1)
+        if radix ** len(positions) >= 2**63:
+            return None
+        key = rows[:, positions[0]].astype(np.int64, copy=True)
+        for position in positions[1:]:
+            key *= radix
+            key += rows[:, position]
+        return key
+
+    def _join_tuples(self, left, right, shared, extra, out_cols):
+        """Python-tuple fallback join for unpackable key widths."""
+        np = self.np
+        left_cols, left_rows = left
+        right_cols, right_rows = right
+        left_pos = [left_cols.index(c) for c in shared]
+        right_pos = [right_cols.index(c) for c in shared]
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in map(tuple, right_rows.tolist()):
+            key = tuple(row[i] for i in right_pos)
+            buckets.setdefault(key, []).append(tuple(row[i] for i in extra))
+        out: list[tuple] = []
+        for row in map(tuple, left_rows.tolist()):
+            key = tuple(row[i] for i in left_pos)
+            for extras in buckets.get(key, ()):
+                out.append(row + extras)
+                if len(out) > self.row_cap:
+                    raise TableOverflow
+        if not out:
+            return out_cols, np.empty((0, len(out_cols)), dtype=np.int64)
+        return out_cols, np.array(out, dtype=np.int64)

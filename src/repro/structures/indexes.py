@@ -20,35 +20,37 @@ sets of the pinned positions.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.structures.structure import Element, Structure
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.structures.encoding import EncodedStructure
 
-class PositionalIndex:
-    """An immutable (relation, position, value) index of one structure."""
 
-    __slots__ = ("_structure", "_tuples", "_by_position")
+class _PositionalLookup:
+    """The shared (relation, position, value) lookup machinery.
 
-    def __init__(self, structure: Structure):
-        self._structure = structure
-        self._tuples: dict[str, frozenset[tuple[Element, ...]]] = dict(
-            structure.relations
-        )
-        by_position: dict[tuple[str, int, Element], set[tuple[Element, ...]]] = {}
-        for name, tuples in self._tuples.items():
+    Subclasses fill ``_tuples`` (relation name to frozenset of rows) and
+    ``_by_position`` (``(relation, position, value)`` to the rows
+    carrying ``value`` at ``position``); the lookup methods are
+    value-agnostic, so the same code serves object tuples
+    (:class:`PositionalIndex`) and dense-int tuples
+    (:class:`EncodedPositionalIndex`).
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def _build_by_position(
+        tuples_by_relation: Mapping[str, frozenset],
+    ) -> dict[tuple[str, int, Element], frozenset]:
+        by_position: dict[tuple[str, int, Element], set] = {}
+        for name, tuples in tuples_by_relation.items():
             for t in tuples:
                 for position, value in enumerate(t):
                     by_position.setdefault((name, position, value), set()).add(t)
-        self._by_position: dict[tuple[str, int, Element], frozenset[tuple[Element, ...]]] = {
-            key: frozenset(values) for key, values in by_position.items()
-        }
-
-    # ------------------------------------------------------------------
-    @property
-    def structure(self) -> Structure:
-        """The indexed structure."""
-        return self._structure
+        return {key: frozenset(values) for key, values in by_position.items()}
 
     def tuples(self, relation: str) -> frozenset[tuple[Element, ...]]:
         """All tuples of ``relation`` (empty frozenset if unknown)."""
@@ -89,8 +91,56 @@ class PositionalIndex:
                 return False
         return True
 
+
+class PositionalIndex(_PositionalLookup):
+    """An immutable (relation, position, value) index of one structure."""
+
+    __slots__ = ("_structure", "_tuples", "_by_position")
+
+    def __init__(self, structure: Structure):
+        self._structure = structure
+        self._tuples: dict[str, frozenset[tuple[Element, ...]]] = dict(
+            structure.relations
+        )
+        self._by_position = self._build_by_position(self._tuples)
+
+    @property
+    def structure(self) -> Structure:
+        """The indexed structure."""
+        return self._structure
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"PositionalIndex({len(self._tuples)} relations, "
+            f"{len(self._by_position)} keys)"
+        )
+
+
+class EncodedPositionalIndex(_PositionalLookup):
+    """The positional index over a dense-int encoded structure.
+
+    Same API as :class:`PositionalIndex` but keyed by the encoded
+    integer values, so forward checking
+    (:meth:`_PositionalLookup.has_compatible_tuple`) during encoded
+    eliminations hashes machine ints instead of arbitrary objects.
+    """
+
+    __slots__ = ("_encoded", "_tuples", "_by_position")
+
+    def __init__(self, encoded: "EncodedStructure"):
+        self._encoded = encoded
+        self._tuples: dict[str, frozenset[tuple[int, ...]]] = {
+            name: encoded.relation_rows(name) for name in encoded.relations
+        }
+        self._by_position = self._build_by_position(self._tuples)
+
+    @property
+    def encoded(self) -> "EncodedStructure":
+        """The indexed encoded structure."""
+        return self._encoded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EncodedPositionalIndex({len(self._tuples)} relations, "
             f"{len(self._by_position)} keys)"
         )

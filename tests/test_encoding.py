@@ -1,0 +1,329 @@
+"""Integer-encoded execution: exactness, backends, memoization, stats.
+
+The encoded evaluators (``array`` and ``numpy`` backends) must be
+bit-for-bit exact against the object path on every workload generator
+and every execution path (plain, batch, sharded sequential, sharded
+parallel); backend resolution must honor ``REPRO_ENCODING`` and degrade
+to the pure-python ``array`` backend when numpy is absent; and the new
+counters (``encoded_eliminations``, ``encoded_resident_bytes``) must
+stay consistent with the semijoin/backtracking attribution.
+"""
+
+import pickle
+
+import pytest
+
+from repro.algorithms.fpt_counting import exists_components
+from repro.engine import Engine
+from repro.engine.context import ExecutionContext
+from repro.exceptions import ReproError, SignatureError
+from repro.structures import encoding as encoding_module
+from repro.structures.encoding import (
+    ENCODING_ENV_VAR,
+    EncodedStructure,
+    numpy_available,
+    resolve_backend,
+)
+from repro.structures.random_gen import random_graph
+from repro.workloads.generators import (
+    cycle_query,
+    example_4_1_query,
+    example_4_2_query,
+    example_5_21_query,
+    grid_query,
+    hidden_clique_query,
+    path_query,
+    random_conjunctive_query,
+    random_ucq,
+    star_query,
+    union_of_paths_query,
+)
+
+#: The encoded backends under test ("numpy" included only when present).
+ENCODED_BACKENDS = ("array", "numpy") if numpy_available() else ("array",)
+
+
+def generator_queries():
+    """One query from every generator in ``workloads.generators``."""
+    yield pytest.param(cycle_query(4), id="cycle")
+    yield pytest.param(example_4_1_query(), id="example_4_1")
+    yield pytest.param(example_4_2_query(), id="example_4_2")
+    yield pytest.param(example_5_21_query(), id="example_5_21")
+    yield pytest.param(grid_query(2, 3), id="grid")
+    yield pytest.param(hidden_clique_query(3), id="hidden_clique")
+    yield pytest.param(path_query(4, quantify_interior=True), id="path")
+    yield pytest.param(star_query(3, quantify_leaves=True), id="star")
+    yield pytest.param(union_of_paths_query([2, 3]), id="union_of_paths")
+    for seed in range(3):
+        yield pytest.param(
+            random_conjunctive_query(5, 4, liberal_count=2, seed=seed),
+            id=f"random_cq_{seed}",
+        )
+    for seed in range(2):
+        yield pytest.param(
+            random_ucq(2, 4, 3, liberal_count=2, seed=seed),
+            id=f"random_ucq_{seed}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+def test_resolve_backend_aliases_and_default():
+    assert resolve_backend("object") == "object"
+    assert resolve_backend("off") == "object"
+    assert resolve_backend("none") == "object"
+    assert resolve_backend("") == "object"
+    assert resolve_backend("array") == "array"
+    assert resolve_backend("Array") == "array"
+
+
+def test_resolve_backend_rejects_unknown_names():
+    with pytest.raises(ReproError):
+        resolve_backend("sparse")
+
+
+def test_resolve_backend_consults_environment(monkeypatch):
+    monkeypatch.delenv(ENCODING_ENV_VAR, raising=False)
+    assert resolve_backend(None) == "object"
+    monkeypatch.setenv(ENCODING_ENV_VAR, "array")
+    assert resolve_backend(None) == "array"
+    # An explicit request always wins over the environment.
+    assert resolve_backend("object") == "object"
+
+
+def test_engine_picks_up_encoding_from_environment(monkeypatch):
+    monkeypatch.setenv(ENCODING_ENV_VAR, "array")
+    engine = Engine(processes=1)
+    try:
+        assert engine.encoding == "array"
+        assert engine.contexts.encoding == "array"
+        assert engine.pool.encoding == "array"
+    finally:
+        engine.close()
+
+
+def _simulate_missing_numpy(monkeypatch):
+    def refuse():
+        raise ImportError("numpy disabled for this test")
+
+    monkeypatch.setattr(encoding_module, "_import_numpy", refuse)
+    monkeypatch.setattr(
+        encoding_module, "_numpy_module", encoding_module._UNPROBED
+    )
+
+
+def test_auto_degrades_to_array_without_numpy(monkeypatch):
+    _simulate_missing_numpy(monkeypatch)
+    assert resolve_backend("auto") == "array"
+    with pytest.raises(ReproError):
+        resolve_backend("numpy")
+
+
+def test_auto_prefers_numpy_when_available():
+    if not numpy_available():
+        pytest.skip("numpy not importable in this interpreter")
+    assert resolve_backend("auto") == "numpy"
+
+
+# ----------------------------------------------------------------------
+# EncodedStructure storage
+# ----------------------------------------------------------------------
+def test_encoded_structure_round_trips_relations():
+    structure = random_graph(9, 0.4, seed=5)
+    encoded = EncodedStructure(structure)
+    assert encoded.size == len(structure.universe)
+    assert encoded.decode == tuple(sorted(structure.universe, key=repr))
+    decoded = encoded.decode_rows(encoded.relation_rows("E"))
+    assert decoded == structure.relation("E")
+    # Encoding is the inverse permutation of the decode table.
+    assert all(encoded.decode[encoded.encode[e]] == e for e in structure.universe)
+
+
+def test_encoded_relation_columns_are_row_sorted():
+    structure = random_graph(8, 0.5, seed=2)
+    rel = EncodedStructure(structure).relations["E"]
+    rows = list(rel.iter_rows())
+    assert rows == sorted(rows)
+    assert rel.row_count == len(structure.relation("E"))
+    assert rel.nbytes == 8 * rel.arity * rel.row_count
+
+
+def test_encoded_structure_unknown_relation_matches_structure_error():
+    encoded = EncodedStructure(random_graph(4, 0.5, seed=0))
+    with pytest.raises(SignatureError):
+        encoded.relation_rows("missing")
+
+
+def test_encoded_structure_pickles_compactly_and_round_trips():
+    structure = random_graph(10, 0.4, seed=3)
+    encoded = EncodedStructure(structure)
+    encoded.relation_rows("E")  # populate a lazy view
+    encoded.int_structure()
+    clone = pickle.loads(pickle.dumps(encoded))
+    assert clone.decode == encoded.decode
+    assert clone.relation_rows("E") == encoded.relation_rows("E")
+    assert clone.nbytes == encoded.nbytes
+    # The pickled payload ships columnar arrays, not the lazy frozenset
+    # views (they rebuild on demand post-unpickle).
+    assert clone._tuple_sets == {} or "E" in clone._tuple_sets
+
+
+# ----------------------------------------------------------------------
+# Agreement with the object path, on every generator and every path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("query", generator_queries())
+@pytest.mark.parametrize("backend", ENCODED_BACKENDS)
+def test_encoded_counts_agree_with_object_path(query, backend):
+    structure = random_graph(12, 0.3, seed=17)
+    reference = Engine(processes=1)
+    encoded = Engine(processes=1, encoding=backend)
+    try:
+        expected = reference.count(query, structure)
+        assert encoded.count(query, structure) == expected
+        assert (
+            encoded.count_sharded(
+                query, structure, shard_count=3, parallel=False
+            )
+            == expected
+        )
+    finally:
+        reference.close()
+        encoded.close()
+
+
+@pytest.mark.parametrize("backend", ENCODED_BACKENDS)
+def test_encoded_count_many_agrees_with_object_path(backend):
+    queries = [
+        path_query(3, quantify_interior=True),
+        star_query(3, quantify_leaves=True),
+        union_of_paths_query([2, 2]),
+    ]
+    structures = [random_graph(10, 0.3, seed=s) for s in (0, 1)]
+    reference = Engine(processes=1)
+    encoded = Engine(processes=1, encoding=backend)
+    try:
+        expected = reference.count_many(queries, structures, parallel=False)
+        assert (
+            encoded.count_many(queries, structures, parallel=False)
+            == expected
+        )
+    finally:
+        reference.close()
+        encoded.close()
+
+
+def test_encoded_parallel_sharded_count_agrees():
+    query = path_query(4, quantify_interior=True)
+    structure = random_graph(14, 0.3, seed=9)
+    reference = Engine(processes=1)
+    encoded = Engine(processes=2, encoding="array")
+    try:
+        expected = reference.count(query, structure)
+        got = encoded.count_sharded(
+            query, structure, shard_count=4, parallel=True
+        )
+        assert got == expected
+    finally:
+        reference.close()
+        encoded.close()
+
+
+@pytest.mark.parametrize("query", generator_queries())
+def test_array_backend_agrees_without_numpy(query, monkeypatch):
+    _simulate_missing_numpy(monkeypatch)
+    structure = random_graph(10, 0.3, seed=23)
+    reference = Engine(processes=1)
+    encoded = Engine(processes=1, encoding="auto")
+    try:
+        assert encoded.encoding == "array"
+        assert encoded.count(query, structure) == reference.count(
+            query, structure
+        )
+    finally:
+        reference.close()
+        encoded.close()
+
+
+def test_boundary_relations_agree_per_component():
+    structure = random_graph(9, 0.35, seed=4)
+    queries = [
+        path_query(4, quantify_interior=True),
+        star_query(3, quantify_leaves=True),
+        hidden_clique_query(3),
+    ]
+    for backend in ENCODED_BACKENDS:
+        for query in queries:
+            for component in exists_components(query):
+                plain = ExecutionContext(structure)
+                encoded = ExecutionContext(structure, encoding=backend)
+                assert encoded.boundary_relation(
+                    component
+                ) == plain.boundary_relation(component)
+
+
+# ----------------------------------------------------------------------
+# Stats attribution and resident bytes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ENCODED_BACKENDS)
+def test_encoded_eliminations_attribution(backend):
+    structure = random_graph(10, 0.35, seed=6)
+    queries = [
+        path_query(4, quantify_interior=True),
+        hidden_clique_query(3),  # cyclic interior: backtracking fallback
+    ]
+    engine = Engine(processes=1, encoding=backend)
+    try:
+        for query in queries:
+            engine.count(query, structure)
+        stats = engine.stats()
+        assert stats.encoded_eliminations > 0
+        # Every encoded elimination is still attributed to exactly one
+        # of the underlying evaluators.
+        assert stats.encoded_eliminations == (
+            stats.semijoin_eliminations + stats.backtracking_eliminations
+        )
+        assert stats.backtracking_eliminations > 0  # the clique interior
+        assert stats.encoded_resident_bytes > 0
+    finally:
+        engine.close()
+
+
+def test_object_path_reports_no_encoded_eliminations():
+    structure = random_graph(10, 0.35, seed=6)
+    engine = Engine(processes=1)
+    try:
+        engine.count(path_query(4, quantify_interior=True), structure)
+        stats = engine.stats()
+        assert stats.encoded_eliminations == 0
+        assert stats.encoded_resident_bytes == 0
+        assert stats.semijoin_eliminations > 0
+    finally:
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Base-table memoization
+# ----------------------------------------------------------------------
+def test_base_tables_are_memoized_per_relation_and_scope(monkeypatch):
+    from repro.engine import context as context_module
+
+    calls = []
+    original = context_module._base_table
+
+    def counting_base_table(index, name, scope):
+        calls.append((name, scope))
+        return original(index, name, scope)
+
+    monkeypatch.setattr(context_module, "_base_table", counting_base_table)
+    structure = random_graph(9, 0.4, seed=8)
+    query = path_query(4, quantify_interior=True)
+    context = ExecutionContext(structure, memoize=False)
+    (component,) = exists_components(query)
+    context.boundary_relation(component)
+    first = len(calls)
+    assert first > 0
+    # Even with the boundary-relation memo off, re-eliminating the same
+    # component re-reads its base tables from the per-context memo.
+    context.boundary_relation(component)
+    assert len(calls) == first
