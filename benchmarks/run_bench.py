@@ -49,6 +49,16 @@ And the integer-encoding comparison:
   backends (target: >= 3x encoded-vs-object at >= 10^5 tuples), plus a
   shard-count sweep and per-scenario peak RSS.
 
+And the live-update comparison:
+
+* **live_updates** -- single-tuple ``StructureDelta`` + repeated query
+  through ``Engine.apply_delta`` (chained fingerprints, migrated
+  contexts and worker pins) vs. full re-registration of the rebuilt
+  structure, on clustered graphs whose small label relation takes the
+  update stream, at 10^4 and 10^5 tuples per encoding backend (target:
+  >= 10x for the delta path at 10^5 tuples, counts identical to a
+  from-scratch rebuild on every backend).
+
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
 a pre-``runs`` report found in the file is migrated to its own key, and
@@ -847,6 +857,193 @@ def bench_columnar_core(quick: bool) -> dict:
     }
 
 
+def _labeled_cluster_graph(clusters: int, cluster_size: int, p: float, seed: int):
+    """A string-element clustered graph plus a small unary ``L`` relation.
+
+    This is the live-update workload shape: the bulky edge relation
+    ``E`` is effectively static while the small label relation ``L`` is
+    the one the update stream touches.  Fine-grained invalidation is
+    exactly what separates the paths here -- an ``L``-only delta leaves
+    every memo whose read set is ``E`` alone (and every untouched
+    shard's counts) warm, where re-registration rebuilds the world.
+    """
+    from repro.logic.signatures import RelationSymbol, Signature
+    from repro.structures.structure import Structure
+
+    raw = random_cluster_graph(clusters, cluster_size, p, seed=seed)
+    names = {element: f"v{element}" for element in raw.universe}
+    universe = [names[element] for element in raw.universe]
+    labels = {(v,) for i, v in enumerate(sorted(universe)) if i % 3 == 0}
+    return Structure(
+        Signature(list(raw.signature) + [RelationSymbol("L", 1)]),
+        universe,
+        {
+            "E": {tuple(names[v] for v in row) for row in raw.relations["E"]},
+            "L": labels,
+        },
+    )
+
+
+def bench_live_updates(quick: bool) -> dict:
+    """Single-tuple deltas vs. full re-registration on a live entry.
+
+    The serving shape live updates target: a large structure is
+    registered and pinned (worker-resident shard contexts), a repeated
+    query arrives continuously, and a small relation changes one tuple
+    at a time.  The measured unit is one update followed by the query --
+    via ``Engine.apply_delta`` (chained fingerprint, routed sub-deltas,
+    migrated contexts and worker pins; only state whose read set the
+    delta touched is dropped) vs. via ``register_structure`` with the
+    rebuilt structure (full content hash, fresh shard plan, every
+    worker context rebuilt by the pin broadcast, every memo cold).
+    Both paths are charged for producing the new validated structure:
+    the delta path builds it incrementally inside ``apply_delta``, so
+    the re-registration path constructs its replacement ``Structure``
+    from raw universe/relation inputs inside the timed loop.
+
+    Scenarios cover 10^4 and 10^5 tuples (10^4 only under ``--quick``)
+    per encoding backend.  Both paths must produce identical counts
+    after every update, and the final count is checked against an
+    engine that counts the rebuilt-from-scratch structure and never saw
+    a delta.  The acceptance bar is >= 10x for the delta path at 10^5
+    tuples.
+    """
+    from repro.structures.delta import StructureDelta
+    from repro.structures.encoding import numpy_available
+    from repro.structures.structure import Structure
+
+    backends = ["object", "array"] + (["numpy"] if numpy_available() else [])
+    scenarios = (
+        [("1e4", 60, 16, 0.7, 3)]
+        if quick
+        else [("1e4", 60, 16, 0.7, 3), ("1e5", 100, 40, 0.65, 3)]
+    )
+    query = "L(x) & exists z. (E(x, z) & E(z, y))"
+
+    rows: list[dict] = []
+    for label, clusters, size, p, updates in scenarios:
+        base = _labeled_cluster_graph(clusters, size, p, seed=11)
+        shards = max(2, clusters // 2)
+        # Each update labels one more existing element: a genuine
+        # single-tuple insert that changes the count (the new label's
+        # 2-paths start counting), touches only the small relation, and
+        # stays within the element's component (no re-shard).
+        unlabeled = [
+            v for i, v in enumerate(sorted(base.universe)) if i % 3 != 0
+        ]
+        deltas = [
+            StructureDelta(inserts={"L": [(unlabeled[i],)]})
+            for i in range(updates)
+        ]
+        rebuilt = [base]
+        for delta in deltas:
+            rebuilt.append(rebuilt[-1].apply_delta(delta))
+        # Raw inputs for the re-registration path: it pays for building
+        # the validated replacement Structure inside the timed loop,
+        # mirroring the incremental build apply_delta is charged for.
+        raw_inputs = [
+            (
+                structure.signature,
+                sorted(structure.universe, key=repr),
+                {name: set(ts) for name, ts in structure.relations.items()},
+            )
+            for structure in rebuilt[1:]
+        ]
+
+        def warmed_engine(backend: str) -> Engine:
+            # One worker, warmed until the pinned shard contexts and
+            # their memos are resident, so each measured update starts
+            # from the steady serving state.  A single worker sees
+            # every shard each round, so residency converges quickly;
+            # it also keeps warmth deterministic on small hosts, where
+            # a second worker never converges (the warm one drains the
+            # job queue first).
+            engine = Engine(processes=1, encoding=backend)
+            engine.register_structure(
+                "live", base, pin=True, shard_count=shards
+            )
+            for _ in range(3):
+                engine.count_sharded(query, "live", parallel=True)
+            return engine
+
+        row: dict = {
+            "scenario": label,
+            "tuples": base.total_tuples,
+            "universe": len(base.universe),
+            "shard_count": shards,
+            "updates": updates,
+            "backends": {},
+        }
+        final_counts = set()
+        delta_total = rereg_total = 0.0
+        for backend in backends:
+            engine = warmed_engine(backend)
+            steady_seconds, _ = _time(
+                lambda: engine.count_sharded(query, "live", parallel=True)
+            )
+            delta_counts = []
+            before = time.perf_counter()
+            for delta in deltas:
+                engine.apply_delta("live", delta)
+                delta_counts.append(
+                    engine.count_sharded(query, "live", parallel=True)
+                )
+            delta_seconds = (time.perf_counter() - before) / updates
+            engine.close()
+
+            engine = warmed_engine(backend)
+            rereg_counts = []
+            before = time.perf_counter()
+            for signature, universe, relations in raw_inputs:
+                structure = Structure(signature, universe, relations)
+                engine.register_structure(
+                    "live", structure, pin=True, shard_count=shards
+                )
+                rereg_counts.append(
+                    engine.count_sharded(query, "live", parallel=True)
+                )
+            rereg_seconds = (time.perf_counter() - before) / updates
+            engine.close()
+
+            assert delta_counts == rereg_counts, (
+                label, backend, delta_counts, rereg_counts,
+            )
+            # From-scratch check: an engine that never saw a delta must
+            # count the fully rebuilt structure identically.
+            fresh = Engine(processes=1, encoding=backend)
+            scratch = fresh.count_sharded(
+                query, rebuilt[-1], shard_count=shards, parallel=False
+            )
+            fresh.close()
+            assert delta_counts[-1] == scratch, (
+                label, backend, delta_counts[-1], scratch,
+            )
+            final_counts.add(scratch)
+
+            delta_total += delta_seconds * updates
+            rereg_total += rereg_seconds * updates
+            row["backends"][backend] = {
+                "steady_count_seconds": steady_seconds,
+                "delta_update_seconds": delta_seconds,
+                "rereg_update_seconds": rereg_seconds,
+                "speedup": (
+                    rereg_seconds / delta_seconds if delta_seconds else None
+                ),
+                "counts": delta_counts,
+            }
+        assert len(final_counts) == 1, (label, row["backends"])
+        row["final_count"] = final_counts.pop()
+        row["speedup"] = delta_total and rereg_total / delta_total
+        rows.append(row)
+
+    return {
+        "query": "labeled_path2_pairs",
+        "backends": backends,
+        "scenarios": rows,
+        "speedup_at_largest": rows[-1]["speedup"],
+    }
+
+
 def append_report(
     output: Path, key: str, report: dict, force: bool = False
 ) -> dict:
@@ -901,6 +1098,7 @@ SECTIONS = {
     "registry_serving": bench_registry_serving,
     "tracing_overhead": bench_tracing_overhead,
     "columnar_core": bench_columnar_core,
+    "live_updates": bench_live_updates,
 }
 
 
@@ -1004,6 +1202,10 @@ def main(argv: list[str] | None = None) -> int:
         summary["columnar_core_best_encoded_speedup"] = report[
             "columnar_core"
         ]["best_encoded_speedup"]
+    if "live_updates" in report:
+        summary["live_updates_speedup"] = report["live_updates"][
+            "speedup_at_largest"
+        ]
     report["summary"] = summary
 
     store = append_report(output, run_key, report, force=args.force)
@@ -1094,6 +1296,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"columnar core ({row['scenario']}: {row['tuples']} tuples, "
                 f"{row['shard_count']} shards): {parts}; best encoded "
                 f"speedup {row['best_encoded_speedup']:.1f}x"
+            )
+    if "live_updates" in report:
+        live = report["live_updates"]
+        for row in live["scenarios"]:
+            parts = ", ".join(
+                f"{backend} {row['backends'][backend]['speedup']:.1f}x"
+                for backend in live["backends"]
+            )
+            print(
+                f"live updates ({row['scenario']}: {row['tuples']} tuples, "
+                f"{row['updates']} updates): delta vs re-registration "
+                f"{row['speedup']:.1f}x ({parts})"
             )
     return 0
 

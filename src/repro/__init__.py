@@ -39,6 +39,7 @@ from repro.structures import (
     Structure,
     ShardedStructure,
     StructureBuilder,
+    StructureDelta,
     direct_product,
     disjoint_union,
     random_cluster_graph,
@@ -68,13 +69,14 @@ from repro.engine import (
     ExecutionContext,
     StructureRegistry,
     UnknownStructureError,
+    VersionConflict,
     compile_plan,
     count_many,
     default_engine,
     execute_sharded,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ReproError",
@@ -92,6 +94,7 @@ __all__ = [
     "Structure",
     "ShardedStructure",
     "StructureBuilder",
+    "StructureDelta",
     "direct_product",
     "disjoint_union",
     "random_cluster_graph",
@@ -120,6 +123,7 @@ __all__ = [
     "ExecutionContext",
     "StructureRegistry",
     "UnknownStructureError",
+    "VersionConflict",
     "compile_plan",
     "count_many",
     "default_engine",

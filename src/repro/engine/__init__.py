@@ -55,6 +55,7 @@ from repro.engine.registry import (
     RegistryFull,
     StructureRegistry,
     UnknownStructureError,
+    VersionConflict,
 )
 from repro.engine.plan import (
     PLAN_KINDS,
@@ -72,6 +73,7 @@ __all__ = [
     "RegistryEntry",
     "RegistryFull",
     "UnknownStructureError",
+    "VersionConflict",
     "default_engine",
     "reset_default_engine",
     "set_default_engine",

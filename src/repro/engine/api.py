@@ -54,6 +54,8 @@ from repro.engine.registry import (
     DEFAULT_REGISTRY_MAX_ENTRIES,
     RegistryEntry,
     StructureRegistry,
+    UnknownStructureError,
+    VersionConflict,
 )
 from repro.exceptions import ReproError
 from repro.obs import trace as _trace
@@ -91,8 +93,13 @@ class EngineStats:
     over the dense-int encoding (zero unless ``Engine(encoding=...)``
     or ``REPRO_ENCODING`` enabled it), and ``encoded_resident_bytes``
     is the approximate resident size of the encodings held by the
-    parent-side context cache.  ``compile_seconds`` is time spent
-    compiling plans, ``execute_seconds`` time spent executing them.
+    parent-side context cache.  ``delta_applies`` counts successful
+    :meth:`Engine.apply_delta` calls, ``memo_evictions`` the memo
+    entries dropped by their relation-scoped invalidation, and
+    ``context_invalidations`` the whole contexts dropped from the
+    parent cache (unregister, re-registration with different data).
+    ``compile_seconds`` is time spent compiling plans,
+    ``execute_seconds`` time spent executing them.
     """
 
     count_calls: int = 0
@@ -118,6 +125,9 @@ class EngineStats:
     registry_evictions: int = 0
     encoded_eliminations: int = 0
     encoded_resident_bytes: int = 0
+    delta_applies: int = 0
+    memo_evictions: int = 0
+    context_invalidations: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
     strategies: dict[str, int] = field(default_factory=dict)
@@ -173,6 +183,9 @@ class EngineStats:
             "registry_evictions": self.registry_evictions,
             "encoded_eliminations": self.encoded_eliminations,
             "encoded_resident_bytes": self.encoded_resident_bytes,
+            "delta_applies": self.delta_applies,
+            "memo_evictions": self.memo_evictions,
+            "context_invalidations": self.context_invalidations,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "strategies": dict(self.strategies),
@@ -260,11 +273,13 @@ class Engine:
             encoding=self.encoding,
         )
         self._lock = threading.Lock()
+        self._delta_lock = threading.Lock()
         self._compile_seconds = 0.0
         self._execute_seconds = 0.0
         self._count_calls = 0
         self._batch_calls = 0
         self._sharded_calls = 0
+        self._delta_applies = 0
         self._strategies: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -406,6 +421,145 @@ class Engine:
             )
         return entry
 
+    def apply_delta(
+        self, name: str, delta, expect_version: int | None = None
+    ) -> RegistryEntry:
+        """Apply a :class:`~repro.structures.delta.StructureDelta` to the
+        registered structure ``name``, advancing it to a new version.
+
+        This is the live-update path that replaces "re-register the
+        whole structure": the registry entry moves to ``version + 1``
+        with a chained fingerprint, and every caching layer migrates
+        incrementally instead of being dropped --
+
+        * the parent-side execution context keeps each memo whose
+          read-set the delta cannot have touched
+          (:meth:`~repro.engine.context.ExecutionContext.apply_delta`);
+        * the shard plan routes each delta tuple to the shard owning
+          its component; a component *merge* falls back to re-sharding
+          the post-delta structure;
+        * pinned worker contexts receive an ``O(|delta|)`` fan-out
+          broadcast and migrate in place (index, memos, and encoding
+          kept) instead of being unpinned and rebuilt.
+
+        ``expect_version`` enables optimistic concurrency: when given
+        and not equal to the live entry's version the delta is rejected
+        with :class:`~repro.engine.registry.VersionConflict` (HTTP maps
+        it to 409).  Applies to one name are serialized; in-flight
+        counts keep executing against the pre-delta version (nothing is
+        mutated in place) and later requests observe the post-delta
+        one -- never a torn mix.  Raises
+        :class:`~repro.engine.registry.UnknownStructureError` for
+        unregistered names and
+        :class:`~repro.exceptions.DeltaError` when the delta does not
+        apply to the current data.
+        """
+        from repro.exceptions import DeltaRoutingError
+        from repro.structures.delta import StructureDelta
+        from repro.structures.sharding import ShardedStructure, shard_structure
+
+        if not isinstance(delta, StructureDelta):
+            raise ReproError("apply_delta() needs a StructureDelta")
+        with self._delta_lock:
+            entry = self.registry.peek(name)
+            if entry is None:
+                raise UnknownStructureError(name, self.registry.names())
+            if expect_version is not None and entry.version != expect_version:
+                raise VersionConflict(name, expect_version, entry.version)
+            if delta.is_empty:
+                return entry
+            with _trace.span(
+                "structure.apply_delta",
+                structure=name,
+                tuples=delta.tuple_count,
+                version=entry.version,
+            ) as span:
+                routed = None
+                resharded = False
+                if entry.sharded is not None:
+                    try:
+                        routed = entry.sharded.route_delta(delta)
+                    except DeltaRoutingError:
+                        resharded = True
+                new_structure = entry.structure.apply_delta(delta)
+                new_structure.fingerprint()
+                sharded = None
+                if routed is not None:
+                    sharded = ShardedStructure(
+                        new_structure,
+                        tuple(
+                            shard if sub is None else shard.apply_delta(sub)
+                            for shard, sub in zip(entry.sharded.shards, routed)
+                        ),
+                        entry.sharded.strategy,
+                    ).precompute_fingerprints()
+                elif resharded:
+                    # A component merge: the old partition is no longer
+                    # component-aligned, so the exact combine rules need
+                    # a fresh one.
+                    sharded = shard_structure(
+                        new_structure,
+                        len(entry.sharded.shards),
+                        entry.sharded.strategy,
+                    ).precompute_fingerprints()
+                span.set("resharded", resharded)
+                new_entry = self.registry.advance(
+                    name,
+                    entry,
+                    new_structure,
+                    sharded=sharded,
+                    expect_version=expect_version,
+                    delta=delta,
+                )
+                self.contexts.apply_delta(entry.structure, delta, new_structure)
+                self._fan_out_delta(entry, new_entry, delta, routed)
+            with self._lock:
+                self._delta_applies += 1
+        return new_entry
+
+    def _fan_out_delta(
+        self,
+        entry: RegistryEntry,
+        new_entry: RegistryEntry,
+        delta,
+        routed,
+    ) -> None:
+        """Reconcile the worker pool's resident contexts across a delta.
+
+        On the routed path the whole structure and every touched
+        non-empty shard migrate via one ``O(|delta|)`` broadcast;
+        shards going from empty to non-empty are pinned fresh (there is
+        nothing resident to migrate).  On the re-shard fallback only
+        the whole structure migrates -- the old partition's shard
+        fingerprints are unpinned and the new partition's shards pinned
+        like a registration.  Universe growth means no shard ever goes
+        back to empty, so the routed path never unpins.
+        """
+        updates = [(entry.fingerprint, delta, new_entry.structure)]
+        fresh_pins: list[Structure] = []
+        stale_fingerprints: list[tuple] = []
+        if routed is not None:
+            for old_shard, sub, new_shard in zip(
+                entry.sharded.shards, routed, new_entry.sharded.shards
+            ):
+                if sub is None:
+                    continue
+                if old_shard.is_empty():
+                    fresh_pins.append(new_shard)
+                else:
+                    updates.append((old_shard.fingerprint(), sub, new_shard))
+        elif new_entry.sharded is not None:
+            stale_fingerprints.extend(
+                shard.fingerprint()
+                for shard in entry.sharded.non_empty_shards()
+            )
+            fresh_pins.extend(new_entry.sharded.non_empty_shards())
+        self.pool.apply_delta(updates)
+        if stale_fingerprints:
+            self.pool.unpin_structures(stale_fingerprints)
+        if entry.pinned and fresh_pins:
+            self.pool.pin_structures(fresh_pins)
+
     def unregister_structure(self, name: str) -> bool:
         """Drop the registered structure ``name``; ``False`` if unknown.
 
@@ -517,10 +671,19 @@ class Engine:
             before = time.perf_counter()
             sharded_execution = plan.kind in _CONTEXT_KINDS
             if sharded_execution:
+                # Reuse the registration-time plan only after validating
+                # it against the entry's *current* state: the plan must
+                # partition exactly this structure (identity, so any
+                # fingerprint change -- re-registration or applied delta
+                # -- falls through) into exactly the requested number of
+                # shards (the plan's own count, not the recorded
+                # metadata, so a drifted entry can never serve counts
+                # from a stale partition).
                 if (
                     entry is not None
                     and entry.sharded is not None
-                    and shard_count == entry.shard_count
+                    and entry.sharded.structure is structure
+                    and shard_count == entry.sharded.shard_count
                     and shard_strategy == entry.sharded.strategy
                 ):
                     sharded = entry.sharded
@@ -642,6 +805,9 @@ class Engine:
                 registry_evictions=evictions,
                 encoded_eliminations=context_stats.encoded_eliminations,
                 encoded_resident_bytes=self.contexts.encoded_bytes(),
+                delta_applies=self._delta_applies,
+                memo_evictions=context_stats.memo_evictions,
+                context_invalidations=context_stats.context_invalidations,
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),
@@ -701,6 +867,7 @@ class Engine:
             self._count_calls = 0
             self._batch_calls = 0
             self._sharded_calls = 0
+            self._delta_applies = 0
             self._strategies = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

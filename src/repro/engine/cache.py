@@ -374,9 +374,32 @@ class ExecutionContextCache:
         The registry calls this when a name is unregistered or
         re-registered with different data, so the parent-side context
         (index, boundary memos, cached shard partitions) of the retired
-        structure stops occupying cache capacity.
+        structure stops occupying cache capacity.  Every actual drop is
+        counted in the shared sink's ``context_invalidations``.
         """
-        return self._cache.pop(structure) is not None
+        dropped = self._cache.pop(structure) is not None
+        if dropped:
+            self.context_stats.bump("context_invalidations")
+        return dropped
+
+    def apply_delta(
+        self, old_structure: Structure, delta, new_structure: Structure
+    ) -> ExecutionContext:
+        """Migrate the cached context across a delta instead of dropping it.
+
+        Pops the context keyed by the pre-delta structure and re-keys its
+        :meth:`~repro.engine.context.ExecutionContext.apply_delta`
+        migration (surviving memos, incrementally updated encoding)
+        under the post-delta structure.  When no pre-delta context was
+        cached this degrades to a plain :meth:`get` of the new version.
+        Returns the post-delta context either way.
+        """
+        old = self._cache.pop(old_structure)
+        if old is None:
+            return self.get(new_structure)
+        migrated = old.apply_delta(delta, new_structure)
+        self._cache.put(new_structure, migrated)
+        return migrated
 
     @property
     def hits(self) -> int:

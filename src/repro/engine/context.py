@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fpt_counting
     from repro.algorithms.fpt_counting import ExistsComponent
     from repro.logic.pp import PPFormula
     from repro.logic.terms import Variable
+    from repro.structures.delta import StructureDelta
     from repro.structures.sharding import ShardedStructure
 
 #: Largest boundary for which the semijoin evaluator is attempted; wider
@@ -89,6 +90,8 @@ class ContextStats:
     semijoin_eliminations: int = 0
     backtracking_eliminations: int = 0
     encoded_eliminations: int = 0
+    memo_evictions: int = 0
+    context_invalidations: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -108,6 +111,8 @@ class ContextStats:
                 semijoin_eliminations=self.semijoin_eliminations,
                 backtracking_eliminations=self.backtracking_eliminations,
                 encoded_eliminations=self.encoded_eliminations,
+                memo_evictions=self.memo_evictions,
+                context_invalidations=self.context_invalidations,
             )
 
     def reset(self) -> None:
@@ -119,6 +124,8 @@ class ContextStats:
             self.semijoin_eliminations = 0
             self.backtracking_eliminations = 0
             self.encoded_eliminations = 0
+            self.memo_evictions = 0
+            self.context_invalidations = 0
 
     def as_dict(self) -> dict:
         return {
@@ -128,6 +135,8 @@ class ContextStats:
             "semijoin_eliminations": self.semijoin_eliminations,
             "backtracking_eliminations": self.backtracking_eliminations,
             "encoded_eliminations": self.encoded_eliminations,
+            "memo_evictions": self.memo_evictions,
+            "context_invalidations": self.context_invalidations,
         }
 
 
@@ -142,6 +151,47 @@ def _boundary_order(component: "ExistsComponent") -> tuple["Variable", ...]:
     once per component rather than once per elimination.
     """
     return component.boundary_order
+
+
+def _component_reads(
+    component: "ExistsComponent",
+) -> tuple[frozenset[str], bool]:
+    """The read-set of an ∃-component memo entry.
+
+    Returns ``(relation_names, universe_sensitive)``: the relation
+    symbols the component's atoms read, and whether the memoized value
+    can also depend on the *size* of the data universe.  A component
+    whose variables are all covered by its atoms is evaluated purely
+    against those relations; one with an atom-free variable ranges that
+    variable over the whole domain, so universe growth can change its
+    boundary relation even when no read relation changed.
+    """
+    scopes = component.atom_scopes
+    names = frozenset(name for name, _ in scopes)
+    covered: set = set()
+    for _, scope in scopes:
+        covered.update(scope)
+    sensitive = not set(component.structure.universe) <= covered
+    return names, sensitive
+
+
+def _structure_reads(structure: Structure) -> tuple[frozenset[str], bool]:
+    """The read-set of a memo keyed by a query structure (pp-formula).
+
+    Same contract as :func:`_component_reads`, derived from the formula's
+    canonical structure: the relation names with at least one atom, and
+    whether any variable occurs in no atom (making the memoized value
+    sensitive to the data universe's size).
+    """
+    names = []
+    covered: set = set()
+    for name, tuples in structure.relations.items():
+        if tuples:
+            names.append(name)
+            for t in tuples:
+                covered.update(t)
+    sensitive = not set(structure.universe) <= covered
+    return frozenset(names), sensitive
 
 
 class ExecutionContext:
@@ -526,6 +576,105 @@ class ExecutionContext:
                 self.structure, shard_count, strategy=strategy
             )
         return self._sharded_memo[key]
+
+    # ------------------------------------------------------------------
+    # Delta application: relation-scoped invalidation
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, delta: "StructureDelta", new_structure: Structure | None = None
+    ) -> "ExecutionContext":
+        """A new context for the post-delta structure, keeping every memo
+        whose read-set the delta cannot have changed.
+
+        This replaces the all-or-nothing cache drop of re-registration:
+        each memo class knows which data it read -- base tables read one
+        relation, ∃-boundary and sentence memos read their component's
+        atom relations, count memos read their plan's atom relations --
+        and only the entries whose read-set intersects the delta's
+        touched relations (or that are sensitive to universe growth,
+        for deltas introducing new elements) are evicted.  By the
+        paper's component factorization, a tuple update touches one data
+        component, so the surviving entries are exactly the factors of
+        untouched components and stay valid.
+
+        The encoding (when built) migrates incrementally via
+        :meth:`EncodedStructure.apply_delta`, and cached shard plans
+        migrate via :meth:`ShardedStructure.apply_delta` (dropped on a
+        component merge).  The positional indexes rebuild lazily.  The
+        pre-delta context is left untouched, so in-flight executions
+        against the old version stay coherent; eviction counts land in
+        ``stats.memo_evictions``.
+        """
+        if new_structure is None:
+            new_structure = self.structure.apply_delta(delta)
+        if new_structure is self.structure:
+            return self
+        fresh = ExecutionContext(
+            new_structure,
+            stats=self.stats,
+            semijoin=self.semijoin,
+            memoize=self.memoize,
+            semijoin_max_boundary=self.semijoin_max_boundary,
+            encoding=self.encoding,
+        )
+        evicted = 0
+        was_empty = self.structure.is_empty()
+        touched = delta.relations
+        grew = len(new_structure.universe) > len(self.structure.universe)
+        if not was_empty:
+            for key, table in self._base_table_memo.items():
+                if key[0] in touched:
+                    evicted += 1
+                else:
+                    fresh._base_table_memo[key] = table
+            for name in (
+                "_boundary_memo",
+                "_boundary_memo_encoded",
+                "_satisfiable_memo",
+            ):
+                source, target = getattr(self, name), getattr(fresh, name)
+                for component, value in source.items():
+                    reads, sensitive = _component_reads(component)
+                    if reads & touched or (grew and sensitive):
+                        evicted += 1
+                    else:
+                        target[component] = value
+            for formula, holds in self._sentence_memo.items():
+                reads, sensitive = _structure_reads(formula.structure)
+                if reads & touched or (grew and sensitive):
+                    evicted += 1
+                else:
+                    fresh._sentence_memo[formula] = holds
+            for base, count in self._count_memo.items():
+                reads, _ = _structure_reads(base.structure)
+                # Counts scale with the domain through unconstrained
+                # liberal variables, so any universe growth evicts.
+                if reads & touched or grew:
+                    evicted += 1
+                else:
+                    fresh._count_memo[base] = count
+        else:
+            evicted += (
+                len(self._base_table_memo)
+                + len(self._boundary_memo)
+                + len(self._boundary_memo_encoded)
+                + len(self._satisfiable_memo)
+                + len(self._sentence_memo)
+                + len(self._count_memo)
+            )
+        from repro.exceptions import DeltaRoutingError
+
+        for key, sharded in self._sharded_memo.items():
+            try:
+                fresh._sharded_memo[key] = sharded.apply_delta(delta)
+            except DeltaRoutingError:
+                evicted += 1
+        if self._encoded is not None:
+            fresh._encoded = self._encoded.apply_delta(delta)
+            fresh._domain = fresh._encoded.decode
+        if evicted:
+            self.stats.bump("memo_evictions", evicted)
+        return fresh
 
     def clear(self) -> None:
         """Drop all memoized state (the index and the encoding stay,

@@ -283,6 +283,51 @@ def unpin_structures_task(job) -> _TaskOk | _TaskFailure:
         return _wrap_failure(exc)
 
 
+def apply_delta_task(job) -> _TaskOk | _TaskFailure:
+    """Migrate this worker's resident contexts across a structure delta.
+
+    ``job = (updates, barrier, timeout)`` with ``updates`` a tuple of
+    ``(old_fingerprint, delta, new_fingerprint)`` triples -- the whole
+    structure's delta plus one routed sub-delta per touched shard.  A
+    resident context keyed by ``old_fingerprint`` (pinned or LRU) is
+    re-keyed to its :meth:`~repro.engine.context.ExecutionContext.
+    apply_delta` migration, so the worker keeps its warm index, memos,
+    and encoding instead of being unpinned and rebuilt; the shipped
+    bytes are ``O(|delta|)``, never the structure.  A worker without
+    the old fingerprint simply skips the pair (the next job shipping
+    the post-delta structure rebuilds on demand), and a migration whose
+    chained fingerprint does not match the parent's expectation is
+    dropped rather than ever serving drifted data.
+    """
+    updates, barrier, timeout = job
+    try:
+        global _worker_contexts, _worker_pinned
+        _await_broadcast_barrier(barrier, timeout)
+        applied = 0
+        for old_fingerprint, delta, new_fingerprint in updates:
+            context = None
+            pinned = False
+            if _worker_pinned is not None and old_fingerprint in _worker_pinned:
+                context = _worker_pinned.pop(old_fingerprint)
+                pinned = True
+            elif _worker_contexts is not None:
+                context = _worker_contexts.pop(old_fingerprint, None)
+            if context is None:
+                continue
+            migrated = context.apply_delta(delta)
+            if migrated.structure.fingerprint() != new_fingerprint:
+                continue
+            if pinned:
+                _worker_pinned[new_fingerprint] = migrated
+            else:
+                assert _worker_contexts is not None
+                _worker_contexts[new_fingerprint] = migrated
+            applied += 1
+        return _TaskOk(applied)
+    except Exception as exc:
+        return _wrap_failure(exc)
+
+
 def pinned_fingerprints_task(job) -> _TaskOk | _TaskFailure:
     """Introspection: this worker's pinned fingerprint keys.
 
@@ -552,6 +597,38 @@ class WorkerPool:
         with self._lock:
             self.pin_broadcasts += 1
         return len(confirmations)
+
+    def apply_delta(self, updates) -> int:
+        """Fan a structure delta out to every worker's resident contexts.
+
+        ``updates`` is a sequence of ``(old_fingerprint, delta,
+        new_structure)`` triples -- the whole structure plus each
+        touched shard.  The parent-side pin set is re-keyed first (so a
+        lazily restarted pool rebuilds the *post-delta* versions in its
+        initializer), then a broadcast ships the ``O(|delta|)``
+        migration instructions to every live worker; pinned contexts
+        migrate in place of being unpinned and rebuilt.  Returns the
+        total number of worker-side context migrations (0 when the
+        pool has not started -- the re-keyed pin set still holds).
+        """
+        updates = tuple(updates)
+        if not updates:
+            return 0
+        with self._lock:
+            for old_fingerprint, _, new_structure in updates:
+                if old_fingerprint in self._pinned:
+                    self._pinned.pop(old_fingerprint)
+                    self._pinned[new_structure.fingerprint()] = new_structure
+        if not self.started:
+            return 0
+        payload = tuple(
+            (old_fingerprint, delta, new_structure.fingerprint())
+            for old_fingerprint, delta, new_structure in updates
+        )
+        confirmations = self.broadcast(apply_delta_task, payload)
+        with self._lock:
+            self.pin_broadcasts += 1
+        return sum(confirmations)
 
     def pinned_fingerprints(self) -> tuple[tuple, ...]:
         """The parent-side pin set (what a restarted pool would rebuild)."""

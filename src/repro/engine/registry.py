@@ -66,6 +66,34 @@ class RegistryFull(ReproError):
     """Capacity is exhausted and every resident entry is pinned."""
 
 
+class VersionConflict(ReproError):
+    """A delta's ``expect_version`` does not match the live entry.
+
+    Optimistic concurrency for live updates: a client that read version
+    ``n`` submits its delta with ``expect_version = n``; if another
+    writer advanced (or re-registered) the name in between, the delta is
+    rejected with this error instead of being applied to data it was not
+    computed against.  The HTTP layer maps it to ``409 Conflict``.
+    """
+
+    def __init__(self, name: str, expected: int | None, actual: int):
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+        if expected is None:
+            message = (
+                f"structure {name!r} changed while the delta was being "
+                f"applied (now at version {actual}); retry against the "
+                "current version"
+            )
+        else:
+            message = (
+                f"structure {name!r} is at version {actual}, not the "
+                f"expected version {expected}"
+            )
+        super().__init__(message)
+
+
 def validate_structure_name(name: str) -> str:
     """A registry name: non-empty printable text without ``/``."""
     if not isinstance(name, str) or not name:
@@ -102,6 +130,35 @@ def approximate_structure_bytes(structure: Structure) -> int:
     return total
 
 
+def approximate_delta_bytes(
+    parent_bytes: int, old: Structure, new: Structure, delta
+) -> int:
+    """Carry a resident-bytes estimate across a delta incrementally.
+
+    :func:`approximate_structure_bytes` is a sum of independent
+    per-container terms, so only the terms the delta can have changed
+    need re-measuring: the universe container plus any brand-new
+    elements (the universe only grows under a delta), and the touched
+    relations' containers and tuples.  A one-tuple delta costs
+    O(touched relation) instead of a full sweep over the structure,
+    and the result agrees exactly with a fresh
+    ``approximate_structure_bytes(new)``.
+    """
+    total = parent_bytes
+    total -= sys.getsizeof(old.universe)
+    total += sys.getsizeof(new.universe)
+    for element in set(delta.inserted_elements()):
+        if element not in old.universe:
+            total += sys.getsizeof(element)
+    for name in delta.relations:
+        for tuples, sign in ((old.relations[name], -1), (new.relations[name], 1)):
+            term = sys.getsizeof(tuples)
+            for t in tuples:
+                term += sys.getsizeof(t)
+            total += sign * term
+    return total
+
+
 @dataclass
 class RegistryEntry:
     """One named resident structure plus its per-entry statistics.
@@ -110,6 +167,15 @@ class RegistryEntry:
     ``hits`` how many times a request resolved it.  ``sharded`` is the
     shard plan precomputed at registration time (when the engine did the
     registering), so ``count_sharded`` on the name never re-partitions.
+
+    ``version`` is the monotonic live-update counter: a fresh
+    registration starts at 1 and every applied delta advances it by one
+    (see :meth:`StructureRegistry.advance`), while the ``fingerprint``
+    follows the chained-digest lineage of
+    :meth:`~repro.structures.structure.Structure.apply_delta`.  Identity
+    of a named structure is the ``(fingerprint, version)`` pair: the
+    fingerprint names the content lineage, the version orders writes to
+    the name.
     """
 
     name: str
@@ -121,6 +187,7 @@ class RegistryEntry:
     sharded: object | None = None  # ShardedStructure, kept untyped to avoid a cycle
     registrations: int = 1
     hits: int = 0
+    version: int = 1
     registered_at: float = field(default_factory=time.time)
 
     def as_dict(self) -> dict:
@@ -137,6 +204,7 @@ class RegistryEntry:
             "shard_count": self.shard_count,
             "registrations": self.registrations,
             "hits": self.hits,
+            "version": self.version,
             "registered_at": self.registered_at,
         }
 
@@ -253,6 +321,64 @@ class StructureRegistry:
                 )
             evicted.append(self._entries.pop(victim_name))
         return evicted
+
+    def advance(
+        self,
+        name: str,
+        parent: RegistryEntry,
+        structure: Structure,
+        sharded: object | None = None,
+        expect_version: int | None = None,
+        delta: object | None = None,
+    ) -> RegistryEntry:
+        """Atomically replace ``name``'s entry with a post-delta version.
+
+        The caller computed ``structure`` (and optionally ``sharded``)
+        from ``parent`` *outside* the registry lock; this commits the
+        result only if ``parent`` is still the live entry -- otherwise a
+        concurrent re-registration or delta raced the computation and
+        :class:`VersionConflict` is raised (likewise when
+        ``expect_version`` names a version other than the live one).
+        The new entry carries the parent's pin state, shard count, and
+        cumulative statistics; ``version`` advances by one and
+        ``resident_bytes`` is updated for the post-delta data --
+        incrementally via :func:`approximate_delta_bytes` when the
+        caller passes the ``delta``, so a one-tuple update never pays a
+        full sweep over the structure.  Capacity is *not* re-enforced
+        here: deltas are incremental writes to already-admitted data,
+        and admission control stays at :meth:`register` time.
+        """
+        if delta is not None:
+            resident_bytes = approximate_delta_bytes(
+                parent.resident_bytes, parent.structure, structure, delta
+            )
+        else:
+            resident_bytes = approximate_structure_bytes(structure)
+        fingerprint = structure.fingerprint()
+        with self._lock:
+            current = self._entries.get(name)
+            if current is None:
+                raise UnknownStructureError(name, tuple(self._entries))
+            if expect_version is not None and current.version != expect_version:
+                raise VersionConflict(name, expect_version, current.version)
+            if current is not parent:
+                raise VersionConflict(name, expect_version, current.version)
+            entry = RegistryEntry(
+                name=name,
+                structure=structure,
+                fingerprint=fingerprint,
+                pinned=current.pinned,
+                resident_bytes=resident_bytes,
+                shard_count=current.shard_count,
+                sharded=sharded,
+                registrations=current.registrations,
+                hits=current.hits,
+                version=current.version + 1,
+                registered_at=current.registered_at,
+            )
+            self._entries[name] = entry
+            self._entries.move_to_end(name)
+        return entry
 
     def unregister(self, name: str) -> RegistryEntry | None:
         """Remove and return the entry for ``name`` (``None`` if absent)."""

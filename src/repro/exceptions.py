@@ -25,6 +25,26 @@ class StructureError(ReproError):
     """A relational structure was constructed or used incorrectly."""
 
 
+class DeltaError(StructureError):
+    """A structure delta is malformed or does not apply.
+
+    Deltas are strict: deleting a tuple that is absent, inserting one
+    that is already present, or mixing arities within a batch all raise
+    this instead of being silently ignored, so a delta always describes
+    the exact difference between two structure versions.
+    """
+
+
+class DeltaRoutingError(DeltaError):
+    """A delta cannot be routed through an existing shard plan.
+
+    Raised when an inserted tuple would connect elements owned by
+    different shards (a data-component merge): the component-aligned
+    partition the exact combine rules rely on no longer holds, so the
+    caller must fall back to re-sharding the post-delta structure.
+    """
+
+
 class FormulaError(ReproError):
     """A formula is malformed or used outside its supported fragment."""
 

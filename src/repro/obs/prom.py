@@ -56,6 +56,9 @@ ENGINE_COUNTERS = (
     "registry_misses",
     "registry_registrations",
     "registry_evictions",
+    "delta_applies",
+    "memo_evictions",
+    "context_invalidations",
 )
 
 #: Request outcome counters inside each endpoint block, with the label

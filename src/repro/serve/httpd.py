@@ -20,6 +20,12 @@ Endpoints
     registered name, every ``structure`` above may instead be the
     reference form ``{"ref": "<name>"}`` -- the request then ships no
     data and counts against the pinned, worker-resident entry.
+``PATCH /structures/<name>``
+    Apply a delta to a registered structure in place:
+    ``{"insert"?: {rel: [[...], ...]}, "delete"?: {...},``
+    ``"expect_version"?: N}`` -> the updated entry view (with its new
+    ``version`` and ``fingerprint``).  A stale ``expect_version``
+    answers ``409`` with the entry's actual version.
 ``GET /structures``
     The registry: aggregate stats plus every entry's metadata.
 ``GET /healthz``
@@ -53,8 +59,9 @@ Structures travel as ``{"relations": {name: [[elem, ...], ...]},``
 Saturation maps to ``429`` (with ``Retry-After``), deadline misses to
 ``504``, shutdown to ``503``, malformed input to ``400``, an unknown
 path or structure reference to ``404`` (with ``known_paths`` /
-``known_structures``), a wrong method to ``405`` (with ``allowed`` and
-an ``Allow`` header).
+``known_structures``), a stale ``expect_version`` on a delta to
+``409``, a wrong method to ``405`` (with ``allowed`` and an ``Allow``
+header).
 """
 
 from __future__ import annotations
@@ -69,7 +76,11 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.engine.pool import WorkerTaskError
-from repro.engine.registry import UnknownStructureError, validate_structure_name
+from repro.engine.registry import (
+    UnknownStructureError,
+    VersionConflict,
+    validate_structure_name,
+)
 from repro.exceptions import ReproError
 from repro.obs import trace as _trace
 from repro.obs.log import get_logger
@@ -82,6 +93,7 @@ from repro.serve.service import (
     ServiceSaturated,
     ServiceTimeout,
 )
+from repro.structures.delta import StructureDelta
 from repro.structures.structure import Structure
 
 _request_log = get_logger("serve.request")
@@ -98,9 +110,9 @@ _SERVER_NAME = "repro-serve"
 
 _STATUS_REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-    504: "Gateway Timeout",
+    405: "Method Not Allowed", 409: "Conflict",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 #: The canonical route table: every ``(method, path pattern)`` the
@@ -117,6 +129,7 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/metrics"),
     ("GET", "/structures"),
     ("PUT", "/structures/<name>"),
+    ("PATCH", "/structures/<name>"),
     ("GET", "/structures/<name>"),
     ("DELETE", "/structures/<name>"),
     ("GET", "/debug/traces"),
@@ -195,6 +208,49 @@ def structure_or_ref_from_json(payload) -> Structure | str:
     return structure_from_json(payload)
 
 
+def _delta_batches(payload: Mapping, field: str) -> dict:
+    """Decode one side (``insert`` / ``delete``) of a wire-form delta."""
+    batches = payload.get(field)
+    if batches is None:
+        return {}
+    if not isinstance(batches, Mapping):
+        raise BadRequest(f"{field} must map relation names to tuple lists")
+    decoded = {}
+    for name, tuples in batches.items():
+        if not isinstance(tuples, list):
+            raise BadRequest(f"{field}[{name!r}] must be a list of tuples")
+        rows = []
+        for row in tuples:
+            if not isinstance(row, list):
+                raise BadRequest(
+                    f"{field}[{name!r}] contains a non-tuple row"
+                )
+            rows.append(tuple(row))
+        decoded[str(name)] = rows
+    return decoded
+
+
+def delta_from_json(payload) -> StructureDelta:
+    """Decode the wire form of a structure delta.
+
+    ``{"insert"?: {rel: [[...], ...]}, "delete"?: {...}}``; at least
+    one side must be present and non-empty, and elements are JSON
+    scalars exactly as in :func:`structure_from_json`.
+    """
+    if not isinstance(payload, Mapping):
+        raise BadRequest("delta must be a JSON object")
+    inserts = _delta_batches(payload, "insert")
+    deletes = _delta_batches(payload, "delete")
+    if not inserts and not deletes:
+        raise BadRequest(
+            'delta must carry at least one "insert" or "delete" tuple'
+        )
+    try:
+        return StructureDelta(inserts=inserts, deletes=deletes)
+    except (ReproError, TypeError) as exc:
+        raise BadRequest(str(exc)) from exc
+
+
 def _require(payload: Mapping, field: str):
     try:
         return payload[field]
@@ -261,6 +317,7 @@ class CountingServer:
             ("GET", "/metrics"): None,
             ("GET", "/structures"): None,
             ("PUT", "/structures/<name>"): self._route_register_structure,
+            ("PATCH", "/structures/<name>"): self._route_apply_delta,
             ("GET", "/structures/<name>"): None,
             ("DELETE", "/structures/<name>"): None,
             ("GET", "/debug/traces"): None,
@@ -606,6 +663,19 @@ class CountingServer:
             return 400, {"error": f"invalid JSON body: {exc}"}, {}
         except UnicodeDecodeError:
             return 400, {"error": "request body must be UTF-8"}, {}
+        except VersionConflict as exc:
+            # A stale expect_version on PATCH: the caller's view of the
+            # entry is out of date.  Must precede the generic ReproError
+            # branch -- a version conflict is not a malformed request.
+            return (
+                409,
+                {
+                    "error": str(exc),
+                    "expected_version": exc.expected,
+                    "actual_version": exc.actual,
+                },
+                {},
+            )
         except UnknownStructureError as exc:
             # An unregistered reference is the JSON-body analogue of an
             # unknown path: a 404 listing what *would* have resolved.
@@ -684,6 +754,20 @@ class CountingServer:
         shard_count = _optional_int(payload, "shard_count")
         return await self.service.register_structure(
             name, structure, pin=pin, shard_count=shard_count
+        )
+
+    async def _route_apply_delta(self, payload: Mapping, name: str) -> dict:
+        """``PATCH /structures/<name>``: apply a delta to a resident entry.
+
+        Body: ``{"insert"?: {...}, "delete"?: {...},``
+        ``"expect_version"?: N}``.  The response is the updated entry
+        view; a stale ``expect_version`` maps to ``409`` and an unknown
+        name to ``404``, exactly like the other ``/structures`` verbs.
+        """
+        delta = delta_from_json(payload)
+        expect_version = _optional_int(payload, "expect_version")
+        return await self.service.apply_delta(
+            name, delta, expect_version=expect_version
         )
 
 

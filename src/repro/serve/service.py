@@ -382,6 +382,31 @@ class CountingService:
         )
         return entry.as_dict()
 
+    async def apply_delta(
+        self,
+        name: str,
+        delta,
+        expect_version: int | None = None,
+    ) -> dict:
+        """Apply a delta to a registered structure; returns the new entry view.
+
+        A management operation like registration (same executor, same
+        shutdown gate): applying a delta rebuilds encoded columns,
+        migrates contexts, and may broadcast into the worker pool.  A
+        stale ``expect_version`` surfaces as
+        :class:`~repro.engine.registry.VersionConflict` (HTTP 409).
+        """
+        if self._closed:
+            raise ServiceClosed("service is shut down")
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(
+            None,
+            lambda: self.engine.apply_delta(
+                name, delta, expect_version=expect_version
+            ),
+        )
+        return entry.as_dict()
+
     async def unregister_structure(self, name: str) -> bool:
         """Drop a registered structure; ``False`` when the name is unknown."""
         if self._closed:

@@ -26,6 +26,7 @@ from repro.structures.homomorphism import (
     homomorphic_equivalent,
     is_homomorphism,
 )
+from repro.structures.delta import StructureDelta
 from repro.structures.indexes import PositionalIndex
 from repro.structures.cores import (
     augmented_structure,
@@ -62,6 +63,7 @@ from repro.structures.sharding import (
 __all__ = [
     "Structure",
     "StructureBuilder",
+    "StructureDelta",
     "complete_structure",
     "single_loop_structure",
     "add_idempotent_copies",

@@ -1,0 +1,182 @@
+"""Tuple-batch deltas: the unit of change for *live* structures.
+
+A :class:`StructureDelta` is an immutable batch of tuple insertions and
+deletions, grouped per relation.  Applying one to a
+:class:`~repro.structures.structure.Structure` produces a new structure
+*version* whose fingerprint is **chained** -- a digest over the parent
+fingerprint plus the delta's canonical byte encoding -- rather than
+recomputed from the full content.  Chaining makes the fingerprint of a
+versioned structure cost ``O(|delta|)`` instead of ``O(|structure|)``,
+which is what lets every fingerprint-keyed cache layer (parent context
+cache, worker-resident pins, registry entries) migrate an entry under a
+delta instead of rebuilding it.
+
+Deltas are strict by design: deleting an absent tuple or re-inserting a
+present one raises :class:`~repro.exceptions.DeltaError` instead of
+being silently ignored, so a delta always describes exactly the set
+difference between two versions and the per-relation tuple counts in
+the chained fingerprint stay exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Iterable, Mapping
+
+from repro.exceptions import DeltaError
+
+Element = Hashable
+TupleBatch = frozenset[tuple]
+
+
+def _canonical_batches(
+    label: str, batches: Mapping[str, Iterable[tuple[Element, ...]]] | None
+) -> dict[str, TupleBatch]:
+    """Validate and canonicalize one side (insert or delete) of a delta."""
+    out: dict[str, TupleBatch] = {}
+    for name, tuples in (batches or {}).items():
+        if not isinstance(name, str) or not name:
+            raise DeltaError(f"relation names must be non-empty strings, got {name!r}")
+        batch = frozenset(tuple(t) for t in tuples)
+        if not batch:
+            continue
+        arities = {len(t) for t in batch}
+        if len(arities) > 1:
+            raise DeltaError(
+                f"{label} batch for relation {name!r} mixes arities {sorted(arities)}"
+            )
+        if 0 in arities:
+            raise DeltaError(f"{label} batch for relation {name!r} contains an empty tuple")
+        out[name] = batch
+    return out
+
+
+class StructureDelta:
+    """An immutable insert/delete tuple batch, grouped per relation.
+
+    Parameters
+    ----------
+    inserts:
+        Mapping from relation name to an iterable of tuples to insert.
+    deletes:
+        Mapping from relation name to an iterable of tuples to delete.
+
+    A tuple may not appear on both sides for the same relation, every
+    batch must be arity-consistent, and empty batches are dropped, so
+    two deltas describing the same change always compare (and digest)
+    equal.
+    """
+
+    __slots__ = ("_inserts", "_deletes", "_digest")
+
+    def __init__(
+        self,
+        inserts: Mapping[str, Iterable[tuple[Element, ...]]] | None = None,
+        deletes: Mapping[str, Iterable[tuple[Element, ...]]] | None = None,
+    ):
+        self._inserts = _canonical_batches("insert", inserts)
+        self._deletes = _canonical_batches("delete", deletes)
+        for name in self._inserts.keys() & self._deletes.keys():
+            both = self._inserts[name] & self._deletes[name]
+            if both:
+                raise DeltaError(
+                    f"tuples appear in both the insert and delete batch of "
+                    f"relation {name!r}: {sorted(map(repr, both))}"
+                )
+            if len(self._inserts[name]) and len(self._deletes[name]):
+                arity = len(next(iter(self._inserts[name])))
+                if arity != len(next(iter(self._deletes[name]))):
+                    raise DeltaError(
+                        f"insert and delete batches for relation {name!r} "
+                        "disagree on arity"
+                    )
+        self._digest: str | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def inserts(self) -> dict[str, TupleBatch]:
+        """A copy of the relation-name to inserted-tuple-set mapping."""
+        return dict(self._inserts)
+
+    @property
+    def deletes(self) -> dict[str, TupleBatch]:
+        """A copy of the relation-name to deleted-tuple-set mapping."""
+        return dict(self._deletes)
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """The names of every relation the delta touches."""
+        return frozenset(self._inserts) | frozenset(self._deletes)
+
+    @property
+    def tuple_count(self) -> int:
+        """Total tuples across both sides (the delta's "size")."""
+        return sum(len(b) for b in self._inserts.values()) + sum(
+            len(b) for b in self._deletes.values()
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta changes nothing."""
+        return not self._inserts and not self._deletes
+
+    def inserted_elements(self) -> frozenset[Element]:
+        """Every element mentioned by an inserted tuple."""
+        out: set[Element] = set()
+        for batch in self._inserts.values():
+            for t in batch:
+                out.update(t)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def canonical_bytes(self) -> bytes:
+        """A process-stable byte encoding of the delta's content.
+
+        Relations are visited in sorted name order and tuples in sorted
+        ``repr`` order (the same conventions as
+        :meth:`Structure.fingerprint`), so equal deltas always encode
+        identically across processes and runs.  This encoding is what
+        gets folded into the chained fingerprint of a delta-applied
+        structure.
+        """
+        parts: list[bytes] = []
+        for label, side in ((b"+", self._inserts), (b"-", self._deletes)):
+            for name in sorted(side):
+                parts.append(b"\x02" + label + name.encode("utf-8") + b"\x02")
+                for t in sorted(map(repr, side[name])):
+                    parts.append(t.encode("utf-8", "backslashreplace") + b"\x00")
+        return b"".join(parts)
+
+    def digest(self) -> str:
+        """BLAKE2 digest of :meth:`canonical_bytes` (memoized)."""
+        if self._digest is None:
+            self._digest = hashlib.blake2b(
+                self.canonical_bytes(), digest_size=16
+            ).hexdigest()
+        return self._digest
+
+    # ------------------------------------------------------------------
+    # Equality / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructureDelta):
+            return NotImplemented
+        return self._inserts == other._inserts and self._deletes == other._deletes
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                tuple(sorted(self._inserts.items())),
+                tuple(sorted(self._deletes.items())),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(f"+{name}:{len(b)}" for name, b in sorted(self._inserts.items()))
+        dels = ", ".join(f"-{name}:{len(b)}" for name, b in sorted(self._deletes.items()))
+        body = ", ".join(p for p in (ins, dels) if p)
+        return f"StructureDelta({body or 'empty'})"

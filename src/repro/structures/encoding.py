@@ -228,6 +228,92 @@ class EncodedStructure:
         decode = self.decode
         return frozenset(tuple(decode[v] for v in row) for row in rows)
 
+    # -- delta application ----------------------------------------------
+    def apply_delta(self, delta: "StructureDelta") -> "EncodedStructure":
+        """A new encoded structure with ``delta`` applied incrementally.
+
+        Instead of re-encoding the whole post-delta structure, this
+
+        * **extends the decode table**: new universe elements are
+          appended (in ``repr`` order among themselves), so every
+          existing code -- and with it every untouched column, memoized
+          base table, and boundary relation expressed in codes -- stays
+          valid;
+        * **merges into the sorted columns**: each touched relation's
+          columns are rebuilt by a single merge pass over its sorted
+          rows (deletes tombstoned out, sorted encoded inserts merged
+          in), costing ``O(|relation| + |delta|)``;
+        * **reuses untouched relations' columns** by reference.
+
+        Note the decode table of a delta-applied encoding is no longer
+        globally ``repr``-sorted (appended elements sort after the base
+        block).  That is safe because the execution context's ``domain``
+        *is* ``decode`` whenever an encoding is active, so the
+        encode/decode bijection and the count semantics are unchanged.
+        """
+        from repro.exceptions import DeltaError
+
+        if delta.is_empty:
+            return self
+        encode = dict(self.encode)
+        decode = list(self.decode)
+        for element in sorted(
+            (e for e in delta.inserted_elements() if e not in encode), key=repr
+        ):
+            encode[element] = len(decode)
+            decode.append(element)
+        relations = dict(self.relations)
+        for name in delta.relations:
+            if name not in relations:
+                raise SignatureError(f"unknown relation {name!r}")
+            rel = relations[name]
+            try:
+                removed = {
+                    tuple(encode[v] for v in t)
+                    for t in delta.deletes.get(name, ())
+                }
+                added = sorted(
+                    tuple(encode[v] for v in t)
+                    for t in delta.inserts.get(name, ())
+                )
+            except KeyError as error:
+                raise DeltaError(
+                    f"delta deletes a tuple of relation {name!r} mentioning "
+                    f"unknown element {error.args[0]!r}"
+                ) from None
+            survivors: Iterable[tuple[int, ...]] = rel.iter_rows()
+            if removed:
+                survivors = (row for row in survivors if row not in removed)
+            if added:
+                import heapq
+
+                merged = heapq.merge(survivors, added)
+            else:
+                merged = survivors
+            columns = tuple(array("q") for _ in range(rel.arity))
+            row_count = 0
+            previous: tuple[int, ...] | None = None
+            for row in merged:
+                if row == previous:
+                    raise DeltaError(
+                        f"delta inserts a tuple already present in relation "
+                        f"{name!r}"
+                    )
+                previous = row
+                for i, value in enumerate(row):
+                    columns[i].append(value)
+                row_count += 1
+            if row_count != rel.row_count - len(removed) + len(added):
+                raise DeltaError(
+                    f"delta does not apply to relation {name!r}: deletes "
+                    "must name present rows and inserts absent ones"
+                )
+            relations[name] = EncodedRelation(name, rel.arity, columns, row_count)
+        new = object.__new__(EncodedStructure)
+        new._init_from_parts(self.signature, tuple(decode), relations)
+        new._encode = encode
+        return new
+
     # -- derived views --------------------------------------------------
     def relation_rows(self, name: str) -> frozenset[tuple[int, ...]]:
         """The relation as a frozenset of int tuples (lazily built).

@@ -85,6 +85,84 @@ class ShardedStructure:
             shard.fingerprint()
         return self
 
+    def route_delta(
+        self, delta: "StructureDelta"
+    ) -> tuple["StructureDelta | None", ...]:
+        """Split ``delta`` into per-shard sub-deltas by component ownership.
+
+        Each delta tuple lands on the shard owning its elements: deletes
+        go to the shard holding the tuple, inserts to the unique shard
+        owning the mentioned existing elements (brand-new elements adopt
+        that shard; tuples over *only* new elements are placed by the
+        same stable hash :func:`shard_structure` uses).  Returns one
+        sub-delta per shard, ``None`` for shards the delta does not
+        touch -- which is what lets every untouched shard keep its
+        structure, fingerprint, and resident contexts byte-for-byte.
+
+        Raises :class:`~repro.exceptions.DeltaRoutingError` when an
+        inserted tuple spans two shards: that is a data-component merge,
+        the partition is no longer component-aligned, and the caller
+        must re-shard the post-delta structure instead.
+        """
+        from repro.exceptions import DeltaRoutingError
+        from repro.structures.delta import StructureDelta
+
+        placement: dict[Element, int] = {}
+        for index, shard in enumerate(self.shards):
+            for element in shard.universe:
+                placement[element] = index
+
+        inserts: list[dict[str, list[tuple]]] = [{} for _ in self.shards]
+        deletes: list[dict[str, list[tuple]]] = [{} for _ in self.shards]
+        touched = [False] * len(self.shards)
+        for name in sorted(delta.deletes):
+            for t in sorted(delta.deletes[name], key=repr):
+                owner = placement.get(t[0])
+                if owner is None:
+                    # Absent tuple; let Structure.apply_delta report it.
+                    owner = 0
+                deletes[owner].setdefault(name, []).append(t)
+                touched[owner] = True
+        for name in sorted(delta.inserts):
+            for t in sorted(delta.inserts[name], key=repr):
+                owners = {placement[e] for e in t if e in placement}
+                if len(owners) > 1:
+                    raise DeltaRoutingError(
+                        f"inserted tuple {t!r} of relation {name!r} connects "
+                        f"elements owned by shards {sorted(owners)}; the "
+                        "component-aligned partition must be recomputed"
+                    )
+                if owners:
+                    owner = owners.pop()
+                else:
+                    owner = _stable_hash(frozenset(t)) % len(self.shards)
+                for element in t:
+                    placement.setdefault(element, owner)
+                inserts[owner].setdefault(name, []).append(t)
+                touched[owner] = True
+        return tuple(
+            StructureDelta(inserts[s], deletes[s]) if touched[s] else None
+            for s in range(len(self.shards))
+        )
+
+    def apply_delta(self, delta: "StructureDelta") -> "ShardedStructure":
+        """A new sharded structure with ``delta`` applied through the plan.
+
+        The whole structure and exactly the shards owning delta tuples
+        advance to new (chained-fingerprint) versions; untouched shards
+        are reused as-is.  Raises
+        :class:`~repro.exceptions.DeltaRoutingError` on a component
+        merge, in which case the caller should fall back to
+        :func:`shard_structure` on the post-delta structure.
+        """
+        routed = self.route_delta(delta)
+        new_structure = self.structure.apply_delta(delta)
+        new_shards = tuple(
+            shard if sub is None else shard.apply_delta(sub)
+            for shard, sub in zip(self.shards, routed)
+        )
+        return ShardedStructure(new_structure, new_shards, self.strategy)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sizes = ",".join(str(len(s)) for s in self.shards)
         return f"ShardedStructure({self.structure!r} -> [{sizes}])"

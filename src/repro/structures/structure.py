@@ -257,6 +257,84 @@ class Structure:
         return Structure(signature, self._universe, relations)
 
     # ------------------------------------------------------------------
+    # Versioning: delta application
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: "StructureDelta") -> "Structure":
+        """A new structure version with ``delta``'s tuple batches applied.
+
+        Inserted tuples may mention new elements, which extend the
+        universe; deletions never shrink it (elements stay resident once
+        seen).  The delta is strict: inserting a tuple that is already
+        present, or deleting one that is absent, raises
+        :class:`~repro.exceptions.DeltaError` -- so a delta always
+        describes the exact difference between the two versions.
+
+        The returned structure's fingerprint is **chained**, not
+        recomputed: its digest hashes the parent fingerprint's digest
+        plus the delta's canonical encoding, costing ``O(|delta|)``
+        instead of ``O(|structure|)``.  Two structures with equal
+        content but different delta histories therefore carry different
+        fingerprints -- under versioning, identity is (content lineage),
+        not content alone, which is exactly what lets caches keyed by
+        fingerprint migrate entries per delta instead of rebuilding.
+        """
+        from repro.exceptions import DeltaError
+
+        if delta.is_empty:
+            return self
+        relations = dict(self._relations)
+        for name in sorted(delta.relations):
+            symbol = self._signature.get(name)
+            if symbol is None:
+                raise SignatureError(
+                    f"delta touches relation {name!r}, which is not in the "
+                    f"signature {self._signature!r}"
+                )
+            current = relations[name]
+            removed = delta.deletes.get(name, frozenset())
+            added = delta.inserts.get(name, frozenset())
+            for t in added | removed:
+                if len(t) != symbol.arity:
+                    raise DeltaError(
+                        f"delta tuple {t!r} has arity {len(t)}, but relation "
+                        f"{name!r} has arity {symbol.arity}"
+                    )
+            missing = removed - current
+            if missing:
+                raise DeltaError(
+                    f"delta deletes tuples absent from relation {name!r}: "
+                    f"{sorted(map(repr, missing))}"
+                )
+            present = added & current
+            if present:
+                raise DeltaError(
+                    f"delta inserts tuples already present in relation "
+                    f"{name!r}: {sorted(map(repr, present))}"
+                )
+            relations[name] = (current - removed) | added
+        universe = self._universe | delta.inserted_elements()
+
+        # Invariants were checked above, so bypass __init__'s full
+        # O(|structure|) revalidation and seed the chained fingerprint.
+        import hashlib
+
+        parent = self.fingerprint()
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(parent[2].encode("ascii"))
+        digest.update(delta.canonical_bytes())
+        counts = tuple(
+            (symbol.name, symbol.arity, len(relations[symbol.name]))
+            for symbol in sorted(self._signature, key=lambda s: s.name)
+        )
+        new = object.__new__(Structure)
+        new._signature = self._signature
+        new._universe = universe
+        new._relations = relations
+        new._hash = None
+        new._fingerprint = (len(universe), counts, digest.hexdigest())
+        return new
+
+    # ------------------------------------------------------------------
     # Fingerprinting
     # ------------------------------------------------------------------
     def fingerprint(self) -> tuple[int, tuple, str]:

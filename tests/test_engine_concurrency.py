@@ -182,3 +182,63 @@ def test_transient_sharded_engine_leaves_no_children():
     )
     assert result == count_answers(PATH_QUERY, graph, engine=None)
     assert not set(multiprocessing.active_children()) - children_before
+
+
+def test_counts_racing_deltas_observe_whole_versions_only():
+    """Readers hammering a registered name while a writer applies
+    deltas: every observed count must belong to exactly one version
+    (pre- or post-delta), never a torn mix.
+
+    The workload is built so whole versions have even counts (each
+    delta deletes one edge and inserts three disjoint new ones, a net
+    +2 to "x has an out-edge") -- any partially-applied state would
+    surface as an odd count.
+    """
+    from repro.structures.delta import StructureDelta
+
+    out_query = "exists y. E(x, y)"
+    edges = [(i, i + 1) for i in range(0, 40, 2)]  # 20 disjoint edges
+    base = Structure.from_relations({"E": edges})
+    rounds = 5
+    valid_counts = {20 + 2 * k for k in range(rounds + 1)}
+    errors: list[BaseException] = []
+    done = threading.Event()
+
+    with Engine() as engine:
+        engine.register_structure("live", base, pin=False, shard_count=2)
+
+        def read() -> None:
+            try:
+                while not done.is_set():
+                    count = engine.count(out_query, "live")
+                    assert count in valid_counts, f"torn count {count}"
+                    count = engine.count_sharded(
+                        out_query, "live", parallel=False
+                    )
+                    assert count in valid_counts, f"torn sharded {count}"
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for k in range(rounds):
+                delta = StructureDelta(
+                    inserts={
+                        "E": [
+                            (1000 + 10 * k + j, 2000 + 10 * k + j)
+                            for j in range(3)
+                        ]
+                    },
+                    deletes={"E": [(2 * k, 2 * k + 1)]},
+                )
+                entry = engine.apply_delta("live", delta, expect_version=k + 1)
+                assert entry.version == k + 2
+        finally:
+            done.set()
+            for thread in readers:
+                thread.join(timeout=60)
+        assert not errors, errors
+        final = engine.count(out_query, "live")
+        assert final == 20 + 2 * rounds

@@ -398,8 +398,8 @@ def test_http_error_bodies_name_paths_and_methods():
 
         status, body, headers = _request(base, "POST", "/structures/x", {})
         assert status == 405
-        assert body["allowed"] == ["DELETE", "GET", "PUT"]
-        assert headers["Allow"] == "DELETE, GET, PUT"
+        assert body["allowed"] == ["DELETE", "GET", "PATCH", "PUT"]
+        assert headers["Allow"] == "DELETE, GET, PATCH, PUT"
 
         status, body, _ = _request(
             base, "PUT", f"/structures/{'x' * 250}",
