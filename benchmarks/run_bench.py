@@ -59,6 +59,17 @@ And the live-update comparison:
   >= 10x for the delta path at 10^5 tuples, counts identical to a
   from-scratch rebuild on every backend).
 
+And the policy-routing comparison:
+
+* **routing** -- the classification-driven routing economics on the
+  matched frontier pairs of ``repro.workloads.frontier_query_pair``:
+  warm-plan FPT counting under an armed ``budget`` policy vs. plain
+  ``allow`` (target: <= 3% p50 overhead), client-observed p99 of the
+  hard clique query coming back ``422`` over live HTTP under
+  ``policy: "reject"`` (target: < 50ms), and the wall-clock of a
+  ``budget`` abort on the hard query vs. its requested ``max_seconds``
+  (target: within 2x).
+
 Reports are **appended** to ``BENCH_engine.json`` as keyed entries under
 ``"runs"`` (key = version + mode), never overwriting earlier baselines;
 a pre-``runs`` report found in the file is migrated to its own key, and
@@ -82,7 +93,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro import Engine, __version__
+from repro import BudgetExceeded, Engine, __version__
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import execute, execute_sharded
 from repro.engine.plan import compile_plan
@@ -1086,6 +1097,154 @@ def append_report(
     return store
 
 
+def bench_routing(quick: bool) -> dict:
+    """The classification-driven routing economics on frontier pairs.
+
+    Three claims, measured on the matched pairs of
+    :func:`repro.workloads.frontier_query_pair` (a path and a clique
+    over the same liberal variables -- verdicts FPT vs.
+    p-#Clique-hard):
+
+    * an armed ``budget`` policy costs almost nothing on the tractable
+      side: warm-plan counting of the FPT query under
+      ``{"mode": "budget"}`` vs. plain ``allow`` (target: <= 3% p50
+      overhead -- the cooperative charges are the only difference);
+    * rejecting the hard side is plan-lookup cheap: client-observed
+      p99 of ``/count`` answering ``422`` for the clique query under
+      ``policy: "reject"`` over live HTTP (target: < 50ms);
+    * a budget abort lands near the requested budget: wall-clock of a
+      ``budget`` abort on the hard query vs. its ``max_seconds``
+      (target: within 2x).
+
+    Every context is warmed with a *different* query before the timed
+    call: repeated identical counts are context-memo hits that never
+    reach the charged loops, which would measure the overhead of a
+    dictionary lookup instead of the budget.
+    """
+    import json as json_
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import (
+        BackgroundServer,
+        CountingServer,
+        CountingService,
+        ServiceConfig,
+    )
+    from repro.workloads.generators import clique_query, frontier_query_pair
+
+    tractable, hard = frontier_query_pair(4)
+    structures = [
+        random_graph(14 if quick else 26, 0.35, seed=100 + i)
+        for i in range(8 if quick else 24)
+    ]
+
+    def measure_counts(policy) -> tuple[list[float], list[int]]:
+        engine = Engine(policy=policy)
+        # Warm the plan cache off the clock, on a structure that is
+        # not part of the sample.
+        engine.count(str(tractable), random_graph(8, 0.4, seed=99))
+        latencies, counts = [], []
+        for structure in structures:
+            engine.count("E(x, y)", structure)  # context warm, memo cold
+            seconds, value = _time(
+                lambda s=structure: engine.count(str(tractable), s)
+            )
+            latencies.append(seconds)
+            counts.append(value)
+        latencies.sort()
+        return latencies, counts
+
+    armed_budget = {"mode": "budget", "max_steps": 10**12, "max_seconds": 600}
+    allow_latencies, allow_counts = measure_counts("allow")
+    budget_latencies, budget_counts = measure_counts(armed_budget)
+    assert allow_counts == budget_counts
+    allow_p50 = allow_latencies[len(allow_latencies) // 2]
+    budget_p50 = budget_latencies[len(budget_latencies) // 2]
+    overhead_pct = (
+        (budget_p50 - allow_p50) / allow_p50 * 100 if allow_p50 else None
+    )
+
+    # -- hard-side rejection over live HTTP ----------------------------
+    reject_requests = 10 if quick else 50
+    reject_graph = random_graph(30, 0.4, seed=5)
+    reject_payload = json_.dumps(
+        {
+            "query": str(hard),
+            "structure": {
+                "relations": {
+                    "E": [list(row) for row in sorted(reject_graph.relations["E"])]
+                }
+            },
+            "policy": "reject",
+        }
+    ).encode()
+    config = ServiceConfig(
+        max_in_flight=2, max_queue=4, request_timeout_seconds=60
+    )
+    server = CountingServer(
+        service=CountingService(config=config, owns_engine=True), port=0
+    )
+    reject_latencies: list[float] = []
+    verdicts = set()
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+
+        def reject_once() -> float:
+            request = urllib.request.Request(
+                f"{base}/count",
+                data=reject_payload,
+                headers={"Content-Type": "application/json"},
+            )
+            before = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request, timeout=60):
+                    raise AssertionError("hard query was not rejected")
+            except urllib.error.HTTPError as error:
+                elapsed = time.perf_counter() - before
+                assert error.code == 422, error.code
+                verdicts.add(json_.load(error)["verdict"])
+            return elapsed
+
+        reject_once()  # warmup: pays the one-time compile + classify
+        for _ in range(reject_requests):
+            reject_latencies.append(reject_once())
+    assert verdicts == {"SHARP_CLIQUE_HARD"}
+    reject_latencies.sort()
+
+    # -- budget abort vs. the requested budget -------------------------
+    abort_budget_seconds = 0.2 if quick else 0.5
+    abort_engine = Engine(
+        policy={"mode": "budget", "max_seconds": abort_budget_seconds}
+    )
+    monster = clique_query(5)
+    abort_graph = random_graph(60, 0.5, seed=11)
+    abort_engine.compile(str(monster))  # classification off the clock
+    before = time.perf_counter()
+    try:
+        abort_engine.count(str(monster), abort_graph)
+        raise AssertionError("budget never tripped on the hard query")
+    except BudgetExceeded:
+        abort_seconds = time.perf_counter() - before
+    abort_ratio = abort_seconds / abort_budget_seconds
+
+    return {
+        "structures": len(structures),
+        "tractable_query": str(tractable),
+        "hard_query_atoms": len(hard.atoms()),
+        "allow_p50_seconds": allow_p50,
+        "budget_p50_seconds": budget_p50,
+        "budget_overhead_pct": overhead_pct,
+        "reject_requests": reject_requests,
+        "reject_p50_seconds": reject_latencies[len(reject_latencies) // 2],
+        "reject_p99_seconds": reject_latencies[-1],
+        "abort_budget_seconds": abort_budget_seconds,
+        "abort_seconds": abort_seconds,
+        "abort_ratio": abort_ratio,
+    }
+
+
 #: Every benchmark section, in report order.  ``--only`` picks a subset.
 SECTIONS = {
     "scenarios": bench_scenarios,
@@ -1099,6 +1258,7 @@ SECTIONS = {
     "tracing_overhead": bench_tracing_overhead,
     "columnar_core": bench_columnar_core,
     "live_updates": bench_live_updates,
+    "routing": bench_routing,
 }
 
 
@@ -1206,6 +1366,14 @@ def main(argv: list[str] | None = None) -> int:
         summary["live_updates_speedup"] = report["live_updates"][
             "speedup_at_largest"
         ]
+    if "routing" in report:
+        summary["routing_budget_overhead_pct"] = report["routing"][
+            "budget_overhead_pct"
+        ]
+        summary["routing_reject_p99_seconds"] = report["routing"][
+            "reject_p99_seconds"
+        ]
+        summary["routing_abort_ratio"] = report["routing"]["abort_ratio"]
     report["summary"] = summary
 
     store = append_report(output, run_key, report, force=args.force)
@@ -1309,6 +1477,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"{row['updates']} updates): delta vs re-registration "
                 f"{row['speedup']:.1f}x ({parts})"
             )
+    if "routing" in report:
+        routing = report["routing"]
+        overhead = routing["budget_overhead_pct"]
+        print(
+            f"routing ({routing['structures']} structures, "
+            f"{routing['reject_requests']} reject requests): "
+            f"FPT allow p50 {_ms(routing['allow_p50_seconds'])} vs "
+            f"budget p50 {_ms(routing['budget_p50_seconds'])}"
+            + (f" ({overhead:+.1f}%)" if overhead is not None else "")
+            + f"; hard reject p99 {_ms(routing['reject_p99_seconds'])}; "
+            f"budget abort {routing['abort_seconds']:.3f}s vs "
+            f"{routing['abort_budget_seconds']:.1f}s budget "
+            f"({routing['abort_ratio']:.2f}x)"
+        )
     return 0
 
 

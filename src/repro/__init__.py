@@ -21,7 +21,8 @@ Quickstart
 3
 """
 
-from repro.exceptions import ReproError
+from repro.budget import CostBudget
+from repro.exceptions import BudgetExceeded, PolicyRejection, ReproError
 from repro.logic import (
     Atom,
     EPFormula,
@@ -50,6 +51,7 @@ from repro.structures import (
 from repro.core import (
     Case,
     Classification,
+    classify,
     classify_ep_class,
     classify_pp_class,
     classify_query,
@@ -67,6 +69,8 @@ from repro.engine import (
     Engine,
     EngineStats,
     ExecutionContext,
+    ExecutionPolicy,
+    PlanProfile,
     StructureRegistry,
     UnknownStructureError,
     VersionConflict,
@@ -76,10 +80,13 @@ from repro.engine import (
     execute_sharded,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ReproError",
+    "BudgetExceeded",
+    "PolicyRejection",
+    "CostBudget",
     "Atom",
     "EPFormula",
     "PPFormula",
@@ -103,6 +110,7 @@ __all__ = [
     "shard_structure",
     "Case",
     "Classification",
+    "classify",
     "classify_ep_class",
     "classify_pp_class",
     "classify_query",
@@ -121,6 +129,8 @@ __all__ = [
     "Engine",
     "EngineStats",
     "ExecutionContext",
+    "ExecutionPolicy",
+    "PlanProfile",
     "StructureRegistry",
     "UnknownStructureError",
     "VersionConflict",

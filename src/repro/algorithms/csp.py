@@ -33,6 +33,7 @@ import networkx as nx
 
 from repro.algorithms.decomposition import TreeDecomposition
 from repro.algorithms.treewidth import treewidth
+from repro.budget import current_budget
 from repro.exceptions import ReproError
 from repro.structures.graphs import primal_graph_of_atoms
 
@@ -118,11 +119,15 @@ def count_solutions_backtracking(instance: CSPInstance) -> int:
                 return False
         return True
 
+    budget = current_budget()
+
     def backtrack(index: int) -> int:
         if index == len(constrained_order):
             return 1
         variable = constrained_order[index]
         total = 0
+        if budget is not None:
+            budget.charge(len(instance.domain))
         for value in instance.domain:
             assignment[variable] = value
             if consistent(variable):
@@ -175,11 +180,15 @@ def _enumerate_bag_assignments(
                     return False
         return True
 
+    budget = current_budget()
+
     def backtrack(index: int) -> None:
         if index == len(ordered):
             results.append(tuple(assignment[v] for v in bag_list))
             return
         variable = ordered[index]
+        if budget is not None:
+            budget.charge(len(domain))
         for value in domain:
             assignment[variable] = value
             if consistent(variable):
@@ -245,6 +254,7 @@ def count_solutions_decomposition(
         bag_id: sorted(decomposition.bag(bag_id), key=repr) for bag_id in decomposition
     }
 
+    budget = current_budget()
     for bag_id, parent in order:
         bag_vars = bag_order[bag_id]
         local_constraints = [
@@ -260,6 +270,8 @@ def count_solutions_decomposition(
             separator = [v for v in child_vars if v in set(bag_vars)]
             child_sep_positions = [child_vars.index(v) for v in separator]
             projected: dict[tuple[Value, ...], int] = {}
+            if budget is not None:
+                budget.charge(len(tables[child]))
             for child_assignment, count in tables[child].items():
                 key = tuple(child_assignment[i] for i in child_sep_positions)
                 projected[key] = projected.get(key, 0) + count
@@ -343,9 +355,13 @@ def _weighted_join(
         )
     left_positions = [left_cols.index(c) for c in shared]
     out: dict[tuple[Value, ...], int] = {}
+    budget = current_budget()
     for row, weight in left.items():
         key = tuple(row[i] for i in left_positions)
-        for extra, right_weight in buckets.get(key, ()):
+        matches = buckets.get(key, ())
+        if budget is not None:
+            budget.charge(1 + len(matches))
+        for extra, right_weight in matches:
             joined = row + extra
             out[joined] = out.get(joined, 0) + weight * right_weight
     return out_cols, out
@@ -453,8 +469,11 @@ def count_solutions_tables(
         # Needed-but-unjoined variables (separator vars no local table
         # or message mentions) range freely; expand them explicitly so
         # the projection below sees them.
+        budget = current_budget()
         for variable in sorted(needed, key=repr):
             if variable not in table_cols:
+                if budget is not None:
+                    budget.charge(len(table_rows) * domain_size)
                 table_cols = table_cols + (variable,)
                 table_rows = {
                     row + (value,): weight

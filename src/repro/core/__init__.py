@@ -54,6 +54,7 @@ from repro.core.classification import (
     Case,
     Classification,
     FormulaMeasures,
+    classify,
     classify_ep_class,
     classify_pp_class,
     classify_query,
@@ -100,6 +101,7 @@ __all__ = [
     "Case",
     "Classification",
     "FormulaMeasures",
+    "classify",
     "classify_ep_class",
     "classify_pp_class",
     "classify_query",

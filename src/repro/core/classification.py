@@ -57,10 +57,27 @@ class FormulaMeasures:
     contract_treewidth: int
 
     @classmethod
-    def of(cls, formula: PPFormula) -> "FormulaMeasures":
+    def of(
+        cls, formula: PPFormula, exact_threshold: int | None = None
+    ) -> "FormulaMeasures":
+        """Measure ``formula``.
+
+        ``exact_threshold`` overrides the exact-treewidth size cutoff
+        (see :func:`repro.algorithms.treewidth.treewidth`): graphs
+        larger than it get a greedy elimination-ordering *upper bound*
+        instead of the exponential exact algorithm.  Plan profiling
+        passes a small cutoff so classification never costs more than
+        the execution it gates.
+        """
         core = formula.core()
-        core_width, _ = treewidth(core.graph())
-        contract_width, _ = treewidth(contract_graph(core, use_core=False))
+        kwargs = (
+            {} if exact_threshold is None
+            else {"exact_threshold": exact_threshold}
+        )
+        core_width, _ = treewidth(core.graph(), **kwargs)
+        contract_width, _ = treewidth(
+            contract_graph(core, use_core=False), **kwargs
+        )
         return cls(formula=formula, core_treewidth=core_width, contract_treewidth=contract_width)
 
 
@@ -122,9 +139,14 @@ def check_bounded_arity(formulas: Iterable[PPFormula], bound: int) -> None:
             )
 
 
-def measure_pp_class(formulas: Sequence[PPFormula]) -> list[FormulaMeasures]:
+def measure_pp_class(
+    formulas: Sequence[PPFormula], exact_threshold: int | None = None
+) -> list[FormulaMeasures]:
     """Compute core and contract treewidths for a collection of pp-formulas."""
-    return [FormulaMeasures.of(formula) for formula in formulas]
+    return [
+        FormulaMeasures.of(formula, exact_threshold=exact_threshold)
+        for formula in formulas
+    ]
 
 
 def classify_pp_class(
@@ -210,3 +232,20 @@ def classify_query(
     if isinstance(query, PPFormula):
         return classify_pp_class([query], treewidth_bound)
     return classify_ep_class([query], treewidth_bound)
+
+
+def classify(
+    query: EPFormula | PPFormula | str,
+    treewidth_bound: int = 2,
+) -> Classification:
+    """Classify one query (string queries are parsed first).
+
+    The convenience entry point exported at the package root: accepts
+    the same query forms as :func:`repro.count_answers` and returns the
+    full :class:`Classification` (verdict, measures, witnesses).
+    """
+    if isinstance(query, str):
+        from repro.logic.parser import parse_query
+
+        query = parse_query(query)
+    return classify_query(query, treewidth_bound=treewidth_bound)

@@ -26,6 +26,10 @@ once, cached, and run many times over many structures:
 * :mod:`repro.engine.registry` -- :class:`StructureRegistry`, named
   resident structures with pinning and LRU eviction, so requests can
   count against a *reference* instead of shipping data;
+* :mod:`repro.engine.policy` -- :class:`ExecutionPolicy`, the
+  classification-driven routing policy (allow / reject / budget /
+  degrade) applied to each plan's :class:`PlanProfile` verdict before
+  execution;
 * :mod:`repro.engine.api` -- the :class:`Engine` facade with hit-rate
   and timing statistics, and the process-wide default engine behind
   :func:`repro.core.counting.count_answers`.
@@ -60,10 +64,13 @@ from repro.engine.registry import (
 from repro.engine.plan import (
     PLAN_KINDS,
     CountingPlan,
+    PlanProfile,
     WeightedPPPlan,
     compile_plan,
     component_pp_plans,
+    profile_plan,
 )
+from repro.engine.policy import ALLOW, POLICY_MODES, ExecutionPolicy
 
 __all__ = [
     "Engine",
@@ -93,7 +100,12 @@ __all__ = [
     "default_process_count",
     "PLAN_KINDS",
     "CountingPlan",
+    "PlanProfile",
     "WeightedPPPlan",
     "compile_plan",
     "component_pp_plans",
+    "profile_plan",
+    "ALLOW",
+    "POLICY_MODES",
+    "ExecutionPolicy",
 ]

@@ -29,9 +29,11 @@ from __future__ import annotations
 import atexit
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.budget import budget_scope
 from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
 from repro.engine.cache import (
     DEFAULT_CONTEXT_CACHE_SIZE,
@@ -47,7 +49,8 @@ from repro.engine.executor import (
     execute_sharded,
 )
 from repro.engine.persist import PlanStore
-from repro.engine.plan import CountingPlan, Query
+from repro.engine.plan import CountingPlan, PlanProfile, Query
+from repro.engine.policy import ALLOW, ExecutionPolicy
 from repro.engine.pool import DEFAULT_WORKER_CONTEXT_CAPACITY, WorkerPool
 from repro.engine.registry import (
     DEFAULT_REGISTRY_MAX_BYTES,
@@ -57,7 +60,7 @@ from repro.engine.registry import (
     UnknownStructureError,
     VersionConflict,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceeded, PolicyRejection, ReproError
 from repro.obs import trace as _trace
 from repro.obs.trace import NOOP_SPAN
 from repro.structures.structure import Structure
@@ -100,6 +103,16 @@ class EngineStats:
     parent cache (unregister, re-registration with different data).
     ``compile_seconds`` is time spent compiling plans,
     ``execute_seconds`` time spent executing them.
+
+    ``classifications`` counts trichotomy classifications run at
+    compile time -- once per plan-cache miss, zero on hits, which is
+    the memoization contract of
+    :class:`~repro.engine.plan.PlanProfile`; ``verdicts`` breaks them
+    down by :class:`~repro.core.classification.Case` name.
+    ``policy_rejections`` counts plans refused at plan time by a
+    ``reject`` policy and ``budget_aborts`` counts executions stopped
+    by a cooperative :class:`~repro.budget.CostBudget` (including the
+    ones the ``degrade`` mode turned into estimates).
     """
 
     count_calls: int = 0
@@ -128,9 +141,13 @@ class EngineStats:
     delta_applies: int = 0
     memo_evictions: int = 0
     context_invalidations: int = 0
+    classifications: int = 0
+    policy_rejections: int = 0
+    budget_aborts: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
     strategies: dict[str, int] = field(default_factory=dict)
+    verdicts: dict[str, int] = field(default_factory=dict)
 
     @property
     def plan_hit_rate(self) -> float:
@@ -186,9 +203,13 @@ class EngineStats:
             "delta_applies": self.delta_applies,
             "memo_evictions": self.memo_evictions,
             "context_invalidations": self.context_invalidations,
+            "classifications": self.classifications,
+            "policy_rejections": self.policy_rejections,
+            "budget_aborts": self.budget_aborts,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "strategies": dict(self.strategies),
+            "verdicts": dict(self.verdicts),
         }
 
 
@@ -236,6 +257,15 @@ class Engine:
         Resolved once here and threaded through the context cache, the
         worker pool (pinned and LRU-resident worker contexts), and the
         sequential sharded path.
+    policy:
+        The engine's default :class:`~repro.engine.policy.
+        ExecutionPolicy` (also accepts a mode string or the request
+        dict form).  Every count call resolves it -- or a per-call
+        ``policy=`` override -- against the compiled plan's memoized
+        :class:`~repro.engine.plan.PlanProfile`: ``reject`` refuses
+        hard-verdict plans at plan time, ``budget``/``degrade`` run
+        the execution under a cooperative cost budget.  ``None``
+        means ``allow`` (the pre-policy behavior).
     """
 
     def __init__(
@@ -250,10 +280,14 @@ class Engine:
         registry_max_entries: int = DEFAULT_REGISTRY_MAX_ENTRIES,
         registry_max_bytes: int = DEFAULT_REGISTRY_MAX_BYTES,
         encoding: str | None = None,
+        policy: ExecutionPolicy | str | dict | None = None,
     ):
         from repro.structures.encoding import resolve_backend
 
         self.encoding = resolve_backend(encoding)
+        self.policy = (
+            ALLOW if policy is None else ExecutionPolicy.from_request(policy)
+        )
         self.plans = PlanCache(plan_cache_size)
         self.contexts = ExecutionContextCache(
             context_cache_size, encoding=self.encoding
@@ -280,30 +314,79 @@ class Engine:
         self._batch_calls = 0
         self._sharded_calls = 0
         self._delta_applies = 0
+        self._classifications = 0
+        self._policy_rejections = 0
+        self._budget_aborts = 0
         self._strategies: dict[str, int] = {}
+        self._verdicts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def compile(self, query: Query, strategy: str = "auto") -> CountingPlan:
         """The compiled plan for ``query`` (cached, persisted if configured)."""
         before = time.perf_counter()
+        # Probe before the real lookup (pure, touches no counters): the
+        # span wants hit/miss, and classification accounting must run
+        # once per miss -- a cache hit reuses the memoized profile.
+        hit = self.plans.contains(query, strategy, self.max_disjuncts)
         with _trace.span("plan.compile", strategy=strategy) as span:
             if span is not NOOP_SPAN:
-                # Probe before the real lookup so the span says whether
-                # this compile was served from cache (the probe itself
-                # touches no counters).
-                span.set(
-                    "cache",
-                    "hit"
-                    if self.plans.contains(query, strategy, self.max_disjuncts)
-                    else "miss",
-                )
+                span.set("cache", "hit" if hit else "miss")
             plan = self.plans.get(
                 query, strategy, self.max_disjuncts, store=self.store
             )
             span.set("kind", plan.kind)
         with self._lock:
             self._compile_seconds += time.perf_counter() - before
+            if not hit and plan.profile is not None:
+                self._classifications += 1
+                verdict = plan.profile.case.name
+                self._verdicts[verdict] = self._verdicts.get(verdict, 0) + 1
         return plan
+
+    def classify(self, query: Query, strategy: str = "auto") -> PlanProfile:
+        """The memoized complexity profile of ``query``'s compiled plan.
+
+        The dry-run half of policy routing: compiles (through the plan
+        cache) and returns the :class:`~repro.engine.plan.PlanProfile`
+        -- verdict, structural measures, cost estimator -- without
+        executing anything.  The HTTP layer's ``POST /classify`` is a
+        thin wrapper over this.
+        """
+        plan = self.compile(query, strategy)
+        if plan.profile is not None:
+            return plan.profile
+        # Legacy plan-store entries predate profiling; profile in place.
+        from repro.engine.plan import profile_plan
+
+        return profile_plan(plan)
+
+    # -- policy plumbing ------------------------------------------------
+    def _resolve_policy(self, policy) -> ExecutionPolicy:
+        """The engine default, or a validated per-call override."""
+        if policy is None:
+            return self.policy
+        return ExecutionPolicy.from_request(policy)
+
+    def _admit(self, policy: ExecutionPolicy, plan: CountingPlan) -> None:
+        """Plan-time admission; counts and re-raises rejections."""
+        try:
+            policy.admit(plan.profile)
+        except PolicyRejection:
+            with self._lock:
+                self._policy_rejections += 1
+            raise
+
+    def _budget_aborted(
+        self,
+        policy: ExecutionPolicy,
+        exc: BudgetExceeded,
+    ) -> None:
+        """Account a cooperative budget abort (span + counter)."""
+        with self._lock:
+            self._budget_aborts += 1
+        with _trace.span("budget.abort", degraded=policy.degrades) as span:
+            for key, value in exc.progress.items():
+                span.set(key, value)
 
     # ------------------------------------------------------------------
     # Warm-start: the persistent plan store
@@ -603,20 +686,45 @@ class Engine:
         return None
 
     def count(
-        self, query: Query, structure: StructureRef, strategy: str = "auto"
+        self,
+        query: Query,
+        structure: StructureRef,
+        strategy: str = "auto",
+        policy: ExecutionPolicy | str | dict | None = None,
     ) -> int:
         """Count ``|query(structure)|`` through the plan cache.
 
         ``structure`` may be the *name* of a registered structure; the
         request then carries no data at all and executes against the
         resident entry.
+
+        ``policy`` overrides the engine's default
+        :class:`~repro.engine.policy.ExecutionPolicy` for this call: a
+        ``reject`` policy raises
+        :class:`~repro.exceptions.PolicyRejection` at plan time when
+        the plan's verdict is refused; ``budget``/``degrade`` run the
+        execution under a cooperative cost budget, aborting with
+        :class:`~repro.exceptions.BudgetExceeded` (or, for ``degrade``,
+        returning the profile's documented sound over-estimate
+        ``universe_size ** arity``) when it runs out.
         """
+        resolved = self._resolve_policy(policy)
         with _trace.span_or_trace("engine.count", strategy=strategy):
             structure = self.resolve_structure(structure)
             plan = self.compile(query, strategy)
+            self._admit(resolved, plan)
             context = self._context_for(plan, structure)
+            budget = resolved.make_budget()
+            scope = budget_scope(budget) if budget is not None else nullcontext()
             before = time.perf_counter()
-            result = execute(plan, structure, context)
+            try:
+                with scope:
+                    result = execute(plan, structure, context)
+            except BudgetExceeded as exc:
+                self._budget_aborted(resolved, exc)
+                if not resolved.degrades or plan.profile is None:
+                    raise
+                result = plan.profile.estimate_count(len(structure.universe))
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._count_calls += 1
@@ -632,6 +740,7 @@ class Engine:
         shard_strategy: str = "hash",
         parallel: bool | None = None,
         processes: int | None = None,
+        policy: ExecutionPolicy | str | dict | None = None,
     ) -> int:
         """Count ``|query(structure)|`` by sharded data-side execution.
 
@@ -655,9 +764,14 @@ class Engine:
         back to the CPU default), and ``sharded_calls`` counts only
         genuinely sharded executions: the baseline plan kinds run
         whole-structure and are plain ``count_calls``.
+
+        ``policy`` routes exactly as in :meth:`count`; a budget ships
+        by value into every shard job, so aborts happen inside the
+        pool workers.
         """
         if shard_count is not None and shard_count < 1:
             raise ReproError("shard_count must be at least 1")
+        resolved = self._resolve_policy(policy)
         with _trace.span_or_trace(
             "engine.count_sharded", strategy=strategy
         ) as root:
@@ -668,6 +782,9 @@ class Engine:
                 if shard_count is None:
                     shard_count = entry.shard_count
             plan = self.compile(query, strategy)
+            self._admit(resolved, plan)
+            budget = resolved.make_budget()
+            scope = budget_scope(budget) if budget is not None else nullcontext()
             before = time.perf_counter()
             sharded_execution = plan.kind in _CONTEXT_KINDS
             if sharded_execution:
@@ -696,16 +813,34 @@ class Engine:
                         shard_strategy,
                     )
                 root.set("shards", sharded.shard_count)
-                result = execute_sharded(
-                    plan,
-                    sharded,
-                    parallel=parallel,
-                    processes=processes,
-                    pool=self.pool,
-                    encoding=self.encoding,
-                )
+                try:
+                    with scope:
+                        result = execute_sharded(
+                            plan,
+                            sharded,
+                            parallel=parallel,
+                            processes=processes,
+                            pool=self.pool,
+                            encoding=self.encoding,
+                        )
+                except BudgetExceeded as exc:
+                    self._budget_aborted(resolved, exc)
+                    if not resolved.degrades or plan.profile is None:
+                        raise
+                    result = plan.profile.estimate_count(
+                        len(structure.universe)
+                    )
             else:
-                result = execute(plan, structure, None)
+                try:
+                    with scope:
+                        result = execute(plan, structure, None)
+                except BudgetExceeded as exc:
+                    self._budget_aborted(resolved, exc)
+                    if not resolved.degrades or plan.profile is None:
+                        raise
+                    result = plan.profile.estimate_count(
+                        len(structure.universe)
+                    )
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._count_calls += 1
@@ -721,6 +856,7 @@ class Engine:
         strategy: str = "auto",
         parallel: bool | None = None,
         processes: int | None = None,
+        policy: ExecutionPolicy | str | dict | None = None,
     ) -> list[list[int]]:
         """Count every query on every structure: ``result[i][j] = |q_i(B_j)|``.
 
@@ -729,7 +865,15 @@ class Engine:
         structure-major blocks, the sequential path shares the engine's
         execution contexts.  Any item of ``structures`` may be the name
         of a registered structure.
+
+        ``policy`` routes as in :meth:`count`, applied to the whole
+        grid: a ``reject`` policy refuses the batch if *any* plan's
+        verdict is refused (before anything executes); one budget
+        governs all cells (shipped into every pool job), and the
+        ``degrade`` fallback fills the whole grid with the profiles'
+        documented over-estimates.
         """
+        resolved = self._resolve_policy(policy)
         with _trace.span_or_trace(
             "engine.count_many",
             strategy=strategy,
@@ -738,16 +882,35 @@ class Engine:
         ):
             structures = [self.resolve_structure(s) for s in structures]
             plans = [self.compile(q, strategy) for q in queries]
+            for plan in plans:
+                self._admit(resolved, plan)
+            budget = resolved.make_budget()
+            scope = budget_scope(budget) if budget is not None else nullcontext()
             before = time.perf_counter()
-            result = _count_many(
-                plans,
-                structures,
-                strategy=strategy,
-                parallel=parallel,
-                processes=processes,
-                context_cache=self.contexts,
-                pool=self.pool,
-            )
+            try:
+                with scope:
+                    result = _count_many(
+                        plans,
+                        structures,
+                        strategy=strategy,
+                        parallel=parallel,
+                        processes=processes,
+                        context_cache=self.contexts,
+                        pool=self.pool,
+                    )
+            except BudgetExceeded as exc:
+                self._budget_aborted(resolved, exc)
+                if not resolved.degrades or any(
+                    plan.profile is None for plan in plans
+                ):
+                    raise
+                result = [
+                    [
+                        plan.profile.estimate_count(len(s.universe))
+                        for s in structures
+                    ]
+                    for plan in plans
+                ]
         with self._lock:
             self._execute_seconds += time.perf_counter() - before
             self._batch_calls += 1
@@ -808,9 +971,13 @@ class Engine:
                 delta_applies=self._delta_applies,
                 memo_evictions=context_stats.memo_evictions,
                 context_invalidations=context_stats.context_invalidations,
+                classifications=self._classifications,
+                policy_rejections=self._policy_rejections,
+                budget_aborts=self._budget_aborts,
                 compile_seconds=self._compile_seconds,
                 execute_seconds=self._execute_seconds,
                 strategies=dict(self._strategies),
+                verdicts=dict(self._verdicts),
             )
 
     def clear_caches(self) -> None:
@@ -868,7 +1035,11 @@ class Engine:
             self._batch_calls = 0
             self._sharded_calls = 0
             self._delta_applies = 0
+            self._classifications = 0
+            self._policy_rejections = 0
+            self._budget_aborts = 0
             self._strategies = {}
+            self._verdicts = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

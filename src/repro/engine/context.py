@@ -30,6 +30,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.budget import current_budget
 from repro.structures.encoding import (
     EncodedStructure,
     NumpyTableOps,
@@ -769,9 +770,13 @@ def _join(left: tuple[tuple, set], right: tuple[tuple, set]) -> tuple[tuple, set
         key = tuple(row[i] for i in right_positions)
         buckets.setdefault(key, []).append(tuple(row[i] for i in extra_positions))
     out_rows: set[tuple] = set()
+    budget = current_budget()
     for row in left_rows:
         key = tuple(row[i] for i in left_positions)
-        for extra in buckets.get(key, ()):
+        matches = buckets.get(key, ())
+        if budget is not None:
+            budget.charge(1 + len(matches))
+        for extra in matches:
             out_rows.add(row + extra)
             if len(out_rows) > SEMIJOIN_ROW_CAP:
                 raise _SemijoinBlowup

@@ -38,6 +38,7 @@ from repro.algorithms.brute_force import (
     count_answers_naive,
     count_ep_answers_by_disjuncts,
 )
+from repro.budget import current_budget
 from repro.algorithms.fpt_counting import PPCountingPlan, execute_pp_plan
 from repro.core.ep_to_pp import sentence_holds
 from repro.engine.cache import ExecutionContextCache
@@ -258,7 +259,10 @@ def _count_many_parallel(
         1, min(len(plans), -(-workers * 2 // max(1, len(structures))))
     )
     chunk = -(-len(plans) // blocks_per_structure)
-    jobs: list[tuple[tuple[CountingPlan, ...], Structure, bool]] = []
+    # The ambient budget ships by value with every job (pickling sends
+    # the *remaining* allowance) so exhaustion aborts inside the worker.
+    budget = current_budget()
+    jobs: list[tuple] = []
     meta: list[tuple[int, int]] = []  # (structure index, first plan index)
     for j, structure in enumerate(structures):
         for start in range(0, len(plans), chunk):
@@ -269,7 +273,10 @@ def _count_many_parallel(
                 # so the resident workers key their caches without
                 # rehashing (a throwaway pool can never hit anyway).
                 structure.fingerprint()
-            jobs.append((block, structure, use_context))
+            if budget is not None:
+                jobs.append((block, structure, use_context, budget))
+            else:
+                jobs.append((block, structure, use_context))
             meta.append((j, start))
     block_results = _map_jobs(count_block_task, jobs, processes, pool)
     out: list[list[int]] = [[0] * len(structures) for _ in plans]
@@ -472,12 +479,18 @@ def execute_sharded(
             # context cache without being re-derived per job.
             for shard in shards:
                 shard.fingerprint()
+        # Ship the ambient budget (remaining allowance) inside each job
+        # so a budget- or deadline-exceeded shard aborts in its worker.
+        budget = current_budget()
+        pool_jobs = (
+            [job + (budget,) for job in jobs] if budget is not None else jobs
+        )
         try:
             with _trace.span(
                 "shard.fanout", shards=len(jobs), units=len(program.units)
             ):
                 values_by_shard = _map_jobs(
-                    shard_task, jobs, processes, pool, encoding
+                    shard_task, pool_jobs, processes, pool, encoding
                 )
         except WorkerTaskError as failure:
             raise failure.original from failure

@@ -17,11 +17,12 @@ one-shot API would.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Union
 
 from repro.algorithms.fpt_counting import PPCountingPlan, compile_pp_plan
+from repro.obs import trace as _trace
 from repro.core.ep_to_pp import PlusDecomposition, plus_decomposition
 from repro.core.inclusion_exclusion import DEFAULT_MAX_DISJUNCTS
 from repro.exceptions import ReproError
@@ -33,6 +34,119 @@ Query = Union[EPFormula, PPFormula, str]
 
 #: The kinds of compiled plans (the *resolved* strategy).
 PLAN_KINDS = ("pp-fpt", "ep-plus", "naive", "disjuncts")
+
+#: Vertex-count cutoff above which plan profiling uses the greedy
+#: elimination-ordering treewidth upper bound instead of the exact
+#: exponential algorithm, so profiling never costs more than it saves.
+PROFILE_EXACT_THRESHOLD = 10
+
+#: The treewidth bound the trichotomy verdict is taken against when the
+#: caller does not supply one (paths/trees are in, cliques are out).
+DEFAULT_TREEWIDTH_BOUND = 2
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """The complexity profile of a compiled plan.
+
+    Computed once per cached plan at compile time (the plan cache and
+    on-disk plan store round-trip it with the plan), so routing a
+    request by its verdict is a field read, never a classification.
+
+    Attributes
+    ----------
+    case:
+        The trichotomy verdict (:class:`repro.core.classification.Case`)
+        of the plan's pp-formulas against ``treewidth_bound``.
+    treewidth_bound:
+        The bound the verdict was taken against.
+    contract_treewidth / core_treewidth:
+        The largest contract-graph / core treewidth among the measured
+        pp-formulas.  Upper bounds when ``exact`` is false.
+    component_count:
+        The largest number of ∃-components among the compiled pp-plans
+        (0 for baseline plans, which compile no pp-plans).
+    pp_formula_count:
+        How many pp-formulas were measured (disjuncts for baselines,
+        the surviving inclusion-exclusion terms for ``ep-plus``).
+    arity:
+        The number of liberal variables -- the answer arity.
+    exact:
+        True when every measured graph was small enough for the exact
+        treewidth algorithm; false when the greedy upper bound stood in
+        (measures are then upper bounds, still sound for routing since
+        the verdict can only harden).
+    classify_seconds:
+        Wall-clock time profiling cost (included in the plan's
+        ``compile_seconds``).
+    """
+
+    case: "Case"
+    treewidth_bound: int
+    contract_treewidth: int
+    core_treewidth: int
+    component_count: int
+    pp_formula_count: int
+    arity: int
+    exact: bool
+    classify_seconds: float = field(default=0.0, compare=False)
+
+    def case_for(self, treewidth_bound: int) -> "Case":
+        """Re-derive the verdict against a different treewidth bound.
+
+        The stored measures make this a pair of comparisons, so a
+        per-request policy with its own bound never re-classifies.
+        """
+        from repro.core.classification import Case
+
+        if treewidth_bound == self.treewidth_bound:
+            return self.case
+        if self.contract_treewidth <= treewidth_bound:
+            if self.core_treewidth <= treewidth_bound:
+                return Case.FPT
+            return Case.CLIQUE_EQUIVALENT
+        return Case.SHARP_CLIQUE_HARD
+
+    def estimated_cost(self, universe_size: int) -> float:
+        """A structure-size-parameterized cost estimate.
+
+        The junction-tree DP over a width-``w`` decomposition costs
+        ``O(n ** (w + 1))`` per pp-formula; the estimate is that,
+        summed over the measured formulas:
+        ``pp_formula_count * universe_size ** (contract_treewidth + 1)``.
+        A relative measure for routing and budgeting, not a promise of
+        wall-clock seconds.
+        """
+        n = max(2, int(universe_size))
+        width = max(0, self.contract_treewidth)
+        return float(max(1, self.pp_formula_count)) * float(n) ** (width + 1)
+
+    def estimate_count(self, universe_size: int) -> int:
+        """The degraded-path estimator: ``universe_size ** arity``.
+
+        **Estimator contract** (relied on by the ``degrade`` policy and
+        its tests): the value is a deterministic upper bound on the
+        exact answer count -- every answer assigns the ``arity``
+        liberal variables values from the universe, so there are at
+        most ``universe_size ** arity`` of them.  For FPT-verdict plans
+        the degraded path never engages (execution completes within
+        budget), so degraded responses equal exact counts there.
+        """
+        return int(universe_size) ** max(0, self.arity)
+
+    def as_dict(self) -> dict:
+        """The wire form used by ``POST /classify`` and 422 bodies."""
+        return {
+            "case": self.case.name,
+            "verdict": self.case.value,
+            "treewidth_bound": self.treewidth_bound,
+            "contract_treewidth": self.contract_treewidth,
+            "core_treewidth": self.core_treewidth,
+            "component_count": self.component_count,
+            "pp_formula_count": self.pp_formula_count,
+            "arity": self.arity,
+            "exact": self.exact,
+        }
 
 
 def as_ep(query: Query) -> EPFormula:
@@ -84,8 +198,12 @@ class CountingPlan:
         its coefficient and compiled pp-plan (``kind == "ep-plus"``).
     liberal_count:
         ``|V|``: the exponent of the ``|B| ** |V|`` shortcut.
+    profile:
+        The memoized :class:`PlanProfile` -- trichotomy verdict,
+        structural measures, cost estimate -- attached at compile time
+        and round-tripped by the plan cache and plan store.
     compile_seconds:
-        Wall-clock time spent compiling the plan.
+        Wall-clock time spent compiling the plan (profiling included).
     """
 
     query: EPFormula
@@ -96,6 +214,7 @@ class CountingPlan:
     sentence_disjuncts: tuple[PPFormula, ...] = ()
     terms: tuple[WeightedPPPlan, ...] = ()
     liberal_count: int = 0
+    profile: PlanProfile | None = field(default=None, compare=False)
     compile_seconds: float = field(default=0.0, compare=False)
 
     @property
@@ -174,61 +293,139 @@ def compile_plan(
     liberal_count = len(ep.liberal)
 
     if strategy == "naive":
-        return CountingPlan(
+        plan = CountingPlan(
             query=ep,
             strategy=strategy,
             kind="naive",
             liberal_count=liberal_count,
-            compile_seconds=time.perf_counter() - started,
         )
-    if strategy == "disjuncts":
-        return CountingPlan(
+    elif strategy == "disjuncts":
+        plan = CountingPlan(
             query=ep,
             strategy=strategy,
             kind="disjuncts",
             liberal_count=liberal_count,
-            compile_seconds=time.perf_counter() - started,
         )
-
-    if strategy == "fpt" and not ep.is_primitive_positive():
-        raise ReproError(
-            "strategy 'fpt' applies to primitive positive queries only; "
-            "use 'auto' or 'inclusion-exclusion' for unions"
-        )
-
-    if isinstance(query, PPFormula):
-        pp = query
-    elif ep.is_primitive_positive():
-        pp = ep.to_pp()
     else:
-        pp = None
+        if strategy == "fpt" and not ep.is_primitive_positive():
+            raise ReproError(
+                "strategy 'fpt' applies to primitive positive queries only; "
+                "use 'auto' or 'inclusion-exclusion' for unions"
+            )
 
-    if pp is not None:
-        return CountingPlan(
-            query=ep,
-            strategy=strategy,
-            kind="pp-fpt",
-            pp=compile_pp_plan(pp),
-            liberal_count=liberal_count,
-            compile_seconds=time.perf_counter() - started,
-        )
+        if isinstance(query, PPFormula):
+            pp = query
+        elif ep.is_primitive_positive():
+            pp = ep.to_pp()
+        else:
+            pp = None
 
-    # General EP query: the Section 5.4 construction, with every
-    # surviving term compiled down to a Theorem 2.11 plan.
-    decomposition = plus_decomposition(ep, max_disjuncts=max_disjuncts)
-    minus = set(decomposition.minus)
-    terms = tuple(
-        WeightedPPPlan(term.coefficient, compile_pp_plan(term.formula))
-        for term in decomposition.star.terms
-        if term.formula in minus
-    )
-    return CountingPlan(
-        query=ep,
-        strategy=strategy,
-        kind="ep-plus",
-        decomposition=decomposition,
-        sentence_disjuncts=decomposition.sentence_disjuncts,
-        terms=terms,
-        liberal_count=len(decomposition.query.liberal),
+        if pp is not None:
+            plan = CountingPlan(
+                query=ep,
+                strategy=strategy,
+                kind="pp-fpt",
+                pp=compile_pp_plan(pp),
+                liberal_count=liberal_count,
+            )
+        else:
+            # General EP query: the Section 5.4 construction, with every
+            # surviving term compiled down to a Theorem 2.11 plan.
+            decomposition = plus_decomposition(ep, max_disjuncts=max_disjuncts)
+            minus = set(decomposition.minus)
+            terms = tuple(
+                WeightedPPPlan(term.coefficient, compile_pp_plan(term.formula))
+                for term in decomposition.star.terms
+                if term.formula in minus
+            )
+            plan = CountingPlan(
+                query=ep,
+                strategy=strategy,
+                kind="ep-plus",
+                decomposition=decomposition,
+                sentence_disjuncts=decomposition.sentence_disjuncts,
+                terms=terms,
+                liberal_count=len(decomposition.query.liberal),
+            )
+
+    profile = profile_plan(plan)
+    return replace(
+        plan,
+        profile=profile,
         compile_seconds=time.perf_counter() - started,
     )
+
+
+def profile_plan(
+    plan: CountingPlan,
+    treewidth_bound: int = DEFAULT_TREEWIDTH_BOUND,
+    exact_threshold: int = PROFILE_EXACT_THRESHOLD,
+) -> PlanProfile:
+    """Compute the :class:`PlanProfile` of a compiled plan.
+
+    The measured pp-formulas are the ones the plan will actually
+    execute: the single pp-formula of a ``pp-fpt`` plan, the surviving
+    inclusion-exclusion terms of an ``ep-plus`` plan, and the query's
+    disjuncts for the baseline kinds.  Graphs with more than
+    ``exact_threshold`` vertices are measured with the greedy
+    elimination-ordering upper bound instead of the exact exponential
+    algorithm, so profiling stays cheap on adversarially large queries.
+    """
+    from repro.core.classification import Case, measure_pp_class
+
+    started = time.perf_counter()
+    with _trace.span("plan.classify", kind=plan.kind) as span:
+        if plan.kind == "pp-fpt" and plan.pp is not None:
+            formulas = [plan.pp.formula]
+        elif plan.kind == "ep-plus":
+            formulas = [t.plan.formula for t in plan.terms]
+        else:
+            formulas = list(plan.query.disjuncts())
+
+        component_counts = [len(t.plan.components) for t in plan.terms]
+        if plan.pp is not None:
+            component_counts.append(len(plan.pp.components))
+
+        if not formulas:
+            # Degenerate (e.g. every term cancelled): trivially FPT.
+            profile = PlanProfile(
+                case=Case.FPT,
+                treewidth_bound=treewidth_bound,
+                contract_treewidth=-1,
+                core_treewidth=-1,
+                component_count=max(component_counts, default=0),
+                pp_formula_count=0,
+                arity=plan.liberal_count,
+                exact=True,
+                classify_seconds=time.perf_counter() - started,
+            )
+            span.set("verdict", profile.case.name)
+            return profile
+
+        measures = measure_pp_class(formulas, exact_threshold=exact_threshold)
+        max_core = max(m.core_treewidth for m in measures)
+        max_contract = max(m.contract_treewidth for m in measures)
+        if max_contract <= treewidth_bound and max_core <= treewidth_bound:
+            case = Case.FPT
+        elif max_contract <= treewidth_bound:
+            case = Case.CLIQUE_EQUIVALENT
+        else:
+            case = Case.SHARP_CLIQUE_HARD
+        exact = all(
+            len(formula.variables) <= exact_threshold for formula in formulas
+        )
+        profile = PlanProfile(
+            case=case,
+            treewidth_bound=treewidth_bound,
+            contract_treewidth=max_contract,
+            core_treewidth=max_core,
+            component_count=max(component_counts, default=0),
+            pp_formula_count=len(formulas),
+            arity=plan.liberal_count,
+            exact=exact,
+            classify_seconds=time.perf_counter() - started,
+        )
+        span.set("verdict", profile.case.name)
+        span.set("contract_treewidth", profile.contract_treewidth)
+        span.set("core_treewidth", profile.core_treewidth)
+        return profile

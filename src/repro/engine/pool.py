@@ -348,15 +348,22 @@ def pinned_fingerprints_task(job) -> _TaskOk | _TaskFailure:
 def count_block_task(job) -> _TaskOk | _TaskFailure:
     """Run a block of plans against one structure.
 
-    ``job = (plans, structure, use_context)``; with ``use_context`` the
-    block shares one resident execution context (and the executions run
-    against the resident context's structure, so index, memos, and data
-    stay coherent on a fingerprint hit).
+    ``job = (plans, structure, use_context[, budget])``; with
+    ``use_context`` the block shares one resident execution context
+    (and the executions run against the resident context's structure,
+    so index, memos, and data stay coherent on a fingerprint hit).
+    ``budget`` is the caller's remaining :class:`~repro.budget.
+    CostBudget` (shipped by value); it is installed around the block so
+    budget- and deadline-exceeded counts abort *inside* the worker, and
+    the resulting :class:`~repro.exceptions.BudgetExceeded` travels
+    back through the normal failure channel.
     """
-    plans, structure, use_context = job
+    plans, structure, use_context, *rest = job
+    budget = rest[0] if rest else None
     cap = _trace.capture("count.block", plans=len(job[0]))
     try:
         with cap:
+            from repro.budget import budget_scope
             from repro.engine.executor import execute
 
             context = None
@@ -365,7 +372,8 @@ def count_block_task(job) -> _TaskOk | _TaskFailure:
                 context, hit = _resident_context(structure)
                 structure = context.structure
             cap.root.set("context_hit", hit)
-            values = [execute(plan, structure, context) for plan in plans]
+            with budget_scope(budget):
+                values = [execute(plan, structure, context) for plan in plans]
         return _TaskOk(values, hit, cap.spans)
     except Exception as exc:
         failure = _wrap_failure(exc)
@@ -376,25 +384,31 @@ def count_block_task(job) -> _TaskOk | _TaskFailure:
 def shard_task(job) -> _TaskOk | _TaskFailure:
     """Evaluate every shard unit on one shard through one resident context.
 
-    ``job = (units, shard)``: the sharded executor's per-shard work,
-    with the context (index + boundary memos) resident across calls, so
-    a repeated ``count_sharded`` on the same data re-executes against
-    warm memos instead of rebuilding them.
+    ``job = (units, shard[, budget])``: the sharded executor's per-shard
+    work, with the context (index + boundary memos) resident across
+    calls, so a repeated ``count_sharded`` on the same data re-executes
+    against warm memos instead of rebuilding them.  ``budget`` (the
+    caller's remaining allowance, shipped by value) is installed around
+    the units as in :func:`count_block_task`.
     """
-    units, shard = job
+    units, shard, *rest = job
+    budget = rest[0] if rest else None
     cap = _trace.capture("shard.execute", units=len(job[0]))
     try:
         with cap:
+            from repro.budget import budget_scope
+
             context, hit = _resident_context(shard)
             cap.root.set("context_hit", hit)
             out: list = []
-            for unit in units:
-                if unit.kind == "count":
-                    assert unit.plan is not None
-                    out.append(context.count_plan(unit.plan))
-                else:
-                    assert unit.sentence is not None
-                    out.append(context.sentence_holds(unit.sentence))
+            with budget_scope(budget):
+                for unit in units:
+                    if unit.kind == "count":
+                        assert unit.plan is not None
+                        out.append(context.count_plan(unit.plan))
+                    else:
+                        assert unit.sentence is not None
+                        out.append(context.sentence_holds(unit.sentence))
         return _TaskOk(out, hit, cap.spans)
     except Exception as exc:
         failure = _wrap_failure(exc)

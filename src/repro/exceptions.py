@@ -95,6 +95,45 @@ class DistinguishingStructureError(ReproError):
     """
 
 
+class PolicyRejection(ReproError):
+    """An execution policy refused to run a query at plan time.
+
+    Carries the trichotomy verdict and the structural measures that
+    triggered the rejection, so serving layers can surface *why* the
+    query was refused (HTTP 422) without ever executing it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        verdict: str | None = None,
+        measures: dict | None = None,
+        policy: str | None = None,
+    ):
+        super().__init__(message)
+        self.verdict = verdict
+        self.measures = dict(measures or {})
+        self.policy = policy
+
+
+class BudgetExceeded(ReproError):
+    """A cooperative cost budget ran out mid-execution.
+
+    Raised from inside the hot loops (junction-tree DP, backtracking
+    search, encoded-table joins) when the ambient
+    :class:`repro.budget.CostBudget` exhausts its step count or
+    deadline.  ``progress`` records how far execution got -- steps
+    charged, elapsed seconds, and the limits -- so a serving layer can
+    return partial-progress stats with its 504.  Instances pickle
+    cleanly (attributes ride in ``__dict__``), so a budget abort inside
+    a forked pool worker surfaces parent-side as itself.
+    """
+
+    def __init__(self, message: str, progress: dict | None = None):
+        super().__init__(message)
+        self.progress = dict(progress or {})
+
+
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters."""
 

@@ -59,7 +59,15 @@ ENGINE_COUNTERS = (
     "delta_applies",
     "memo_evictions",
     "context_invalidations",
+    "classifications",
+    "policy_rejections",
+    "budget_aborts",
 )
+
+#: The trichotomy verdicts always present in the labeled verdict
+#: family, so the exposed series set stays deterministic even before
+#: the first classification.
+_VERDICT_CASES = ("FPT", "CLIQUE_EQUIVALENT", "SHARP_CLIQUE_HARD")
 
 #: Request outcome counters inside each endpoint block, with the label
 #: value each is exposed under.
@@ -242,6 +250,14 @@ def render_prometheus(metrics: Mapping) -> str:
     for strategy, calls in sorted(engine.get("strategies", {}).items()):
         strategies.add(calls, {"strategy": strategy})
     families.append(strategies)
+    verdicts = _Family(
+        "repro_plan_verdicts_total", "counter",
+        "Plans classified at compile time, by trichotomy verdict.",
+    )
+    observed = engine.get("verdicts", {})
+    for case in sorted(set(_VERDICT_CASES) | set(observed)):
+        verdicts.add(observed.get(case, 0), {"verdict": case})
+    families.append(verdicts)
 
     for name, help_text, block, key in _GAUGES:
         family = _Family(name, "gauge", help_text)
@@ -261,6 +277,7 @@ def family_names() -> set[str]:
         "repro_request_outcomes_total",
         "repro_request_latency_seconds",
         "repro_engine_strategy_calls_total",
+        "repro_plan_verdicts_total",
     }
     names.update(f"repro_engine_{c}_total" for c in ENGINE_COUNTERS)
     names.update(f"repro_engine_{p}_seconds_total" for p in ("compile", "execute"))

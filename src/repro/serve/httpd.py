@@ -15,6 +15,11 @@ Endpoints
 ``POST /count_sharded``
     ``{"query", "structure", "shard_count"?, "strategy"?,``
     ``"shard_strategy"?, "parallel"?}`` -> ``{"count": N}``.
+``POST /classify``
+    ``{"query": "...", "strategy"?, "policy"?}`` -> the query's
+    trichotomy verdict, its structural measures, and whether the
+    (resolved) execution policy would admit it -- a dry run of the
+    routing decision that never touches a structure.
 ``PUT /structures/<name>`` / ``GET`` / ``DELETE``
     Register, inspect, or drop a named resident structure; with a
     registered name, every ``structure`` above may instead be the
@@ -61,7 +66,11 @@ Saturation maps to ``429`` (with ``Retry-After``), deadline misses to
 path or structure reference to ``404`` (with ``known_paths`` /
 ``known_structures``), a stale ``expect_version`` on a delta to
 ``409``, a wrong method to ``405`` (with ``allowed`` and an ``Allow``
-header).
+header).  The counting endpoints additionally accept a ``policy``
+field (a mode string or policy object; see ``docs/http_api.md``): a
+plan-time policy rejection answers ``422`` with the query's verdict
+and measures, and a cost-budget abort mid-execution answers ``504``
+with the partial-progress stats at the abort point.
 """
 
 from __future__ import annotations
@@ -81,7 +90,7 @@ from repro.engine.registry import (
     VersionConflict,
     validate_structure_name,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceeded, PolicyRejection, ReproError
 from repro.obs import trace as _trace
 from repro.obs.log import get_logger
 from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
@@ -111,6 +120,7 @@ _SERVER_NAME = "repro-serve"
 _STATUS_REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict",
+    422: "Unprocessable Entity",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
@@ -125,6 +135,7 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("POST", "/count"),
     ("POST", "/count_many"),
     ("POST", "/count_sharded"),
+    ("POST", "/classify"),
     ("GET", "/healthz"),
     ("GET", "/metrics"),
     ("GET", "/structures"),
@@ -264,6 +275,22 @@ def _query_from_json(value) -> str:
     return value
 
 
+def _policy_from_json(payload: Mapping):
+    """The optional ``policy`` field: a mode string or a policy object.
+
+    Only the JSON shape is checked here; field-level validation (known
+    mode, positive limits, ...) happens in
+    :meth:`~repro.engine.policy.ExecutionPolicy.from_request`, whose
+    :class:`ReproError` maps to ``400`` like any other malformed input.
+    """
+    value = payload.get("policy")
+    if value is None:
+        return None
+    if not isinstance(value, (str, Mapping)):
+        raise BadRequest("policy must be a string or an object")
+    return value
+
+
 def _optional_int(payload: Mapping, field: str) -> int | None:
     """An optional integer field (JSON booleans are *not* integers)."""
     value = payload.get(field)
@@ -313,6 +340,7 @@ class CountingServer:
             ("POST", "/count"): self._route_count,
             ("POST", "/count_many"): self._route_count_many,
             ("POST", "/count_sharded"): self._route_count_sharded,
+            ("POST", "/classify"): self._route_classify,
             ("GET", "/healthz"): None,
             ("GET", "/metrics"): None,
             ("GET", "/structures"): None,
@@ -690,6 +718,30 @@ class CountingServer:
             return 503, {"error": str(exc)}, {}
         except ServiceTimeout as exc:
             return 504, {"error": str(exc)}, {}
+        except PolicyRejection as exc:
+            # The execution policy refused the query at plan time: the
+            # request is well-formed but names work the operator chose
+            # not to run.  Must precede the generic ReproError branch.
+            return (
+                422,
+                {
+                    "error": str(exc),
+                    "verdict": exc.verdict,
+                    "measures": exc.measures,
+                    "policy": exc.policy,
+                },
+                {},
+            )
+        except BudgetExceeded as exc:
+            # The cooperative cost budget fired mid-execution (possibly
+            # inside a pool worker): the request timed out by the
+            # operator's cost clock, with partial-progress stats from
+            # the abort point.  Must precede the ReproError branch.
+            return (
+                504,
+                {"error": str(exc), "progress": exc.progress},
+                {},
+            )
         except WorkerTaskError as exc:
             # A failure *inside* a pool worker is a server-side problem
             # with a well-formed request, never the client's fault.
@@ -706,8 +758,16 @@ class CountingServer:
             _query_from_json(_require(payload, "query")),
             structure_or_ref_from_json(_require(payload, "structure")),
             strategy=str(payload.get("strategy", "auto")),
+            policy=_policy_from_json(payload),
         )
         return {"count": count}
+
+    async def _route_classify(self, payload: Mapping) -> dict:
+        return await self.service.classify(
+            _query_from_json(_require(payload, "query")),
+            strategy=str(payload.get("strategy", "auto")),
+            policy=_policy_from_json(payload),
+        )
 
     async def _route_count_many(self, payload: Mapping) -> dict:
         queries = _require(payload, "queries")
@@ -721,6 +781,7 @@ class CountingServer:
             [structure_or_ref_from_json(s) for s in structures],
             strategy=str(payload.get("strategy", "auto")),
             parallel=payload.get("parallel"),
+            policy=_policy_from_json(payload),
         )
         return {"counts": counts}
 
@@ -733,6 +794,7 @@ class CountingServer:
             strategy=str(payload.get("strategy", "auto")),
             shard_strategy=str(payload.get("shard_strategy", "hash")),
             parallel=payload.get("parallel"),
+            policy=_policy_from_json(payload),
         )
         return {"count": count}
 

@@ -38,7 +38,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from dataclasses import replace as _replace
+
 from repro.engine.api import Engine
+from repro.engine.policy import ExecutionPolicy
 from repro.exceptions import ReproError
 from repro.obs import trace as _trace
 from repro.obs.log import get_logger
@@ -302,17 +305,49 @@ class CountingService:
         self._abandoned = 0  # timed-out threads still occupying a slot
         self._endpoints = {
             name: _EndpointCounters()
-            for name in ("count", "count_many", "count_sharded")
+            for name in ("count", "count_many", "count_sharded", "classify")
         }
         self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # Request paths
     # ------------------------------------------------------------------
-    async def count(self, query, structure, strategy: str = "auto") -> int:
+    def _effective_policy(self, policy):
+        """Resolve the request's policy, coupling budgets to the deadline.
+
+        A budget-aware policy (``budget``/``degrade``) whose
+        ``max_seconds`` is unset or beyond the request timeout is capped
+        at the timeout: the cooperative budget then aborts the worker
+        thread at roughly the moment the HTTP deadline fires, so a
+        deadline-exceeded count stops consuming its slot instead of
+        running detached (the ``abandoned`` gauge drains instead of
+        growing).  ``None`` with a non-budget engine default passes
+        through unchanged (the engine applies its own default).
+        """
+        resolved = (
+            self.engine.policy
+            if policy is None
+            else ExecutionPolicy.from_request(policy)
+        )
+        if resolved.mode not in ("budget", "degrade"):
+            return policy
+        timeout = self.config.request_timeout_seconds
+        if resolved.max_seconds is None or resolved.max_seconds > timeout:
+            return _replace(resolved, max_seconds=timeout)
+        return resolved
+
+    async def count(
+        self,
+        query,
+        structure,
+        strategy: str = "auto",
+        policy=None,
+    ) -> int:
         """``Engine.count`` under admission control and the deadline."""
+        policy = self._effective_policy(policy)
         return await self._submit(
-            "count", lambda: self.engine.count(query, structure, strategy)
+            "count",
+            lambda: self.engine.count(query, structure, strategy, policy=policy),
         )
 
     async def count_many(
@@ -321,12 +356,18 @@ class CountingService:
         structures: Sequence,
         strategy: str = "auto",
         parallel: bool | None = None,
+        policy=None,
     ) -> list[list[int]]:
         """``Engine.count_many`` under admission control and the deadline."""
+        policy = self._effective_policy(policy)
         return await self._submit(
             "count_many",
             lambda: self.engine.count_many(
-                queries, structures, strategy=strategy, parallel=parallel
+                queries,
+                structures,
+                strategy=strategy,
+                parallel=parallel,
+                policy=policy,
             ),
         )
 
@@ -338,8 +379,10 @@ class CountingService:
         strategy: str = "auto",
         shard_strategy: str = "hash",
         parallel: bool | None = None,
+        policy=None,
     ) -> int:
         """``Engine.count_sharded`` under admission control and the deadline."""
+        policy = self._effective_policy(policy)
         return await self._submit(
             "count_sharded",
             lambda: self.engine.count_sharded(
@@ -349,8 +392,45 @@ class CountingService:
                 strategy=strategy,
                 shard_strategy=shard_strategy,
                 parallel=parallel,
+                policy=policy,
             ),
         )
+
+    async def classify(
+        self,
+        query,
+        strategy: str = "auto",
+        policy=None,
+    ) -> dict:
+        """Dry-run complexity classification: no execution happens.
+
+        Compiles ``query`` through the plan cache (so a later ``count``
+        of the same query reuses the plan *and* its memoized profile)
+        and reports the trichotomy verdict, the structural measures,
+        and what the given policy (default: the engine's) would decide.
+        """
+        return await self._submit(
+            "classify",
+            lambda: self._classify_blocking(query, strategy, policy),
+        )
+
+    def _classify_blocking(self, query, strategy, policy) -> dict:
+        profile = self.engine.classify(query, strategy)
+        resolved = (
+            self.engine.policy
+            if policy is None
+            else ExecutionPolicy.from_request(policy)
+        )
+        case = profile.case_for(resolved.treewidth_bound)
+        admitted = not (
+            resolved.mode == "reject" and case.name in resolved.reject_cases
+        )
+        return {
+            "verdict": case.name,
+            "admitted": admitted,
+            "profile": profile.as_dict(),
+            "policy": resolved.as_dict(),
+        }
 
     # ------------------------------------------------------------------
     # Structure registry management

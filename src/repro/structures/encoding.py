@@ -45,6 +45,7 @@ import os
 from array import array
 from typing import Iterable, Iterator, Sequence
 
+from repro.budget import current_budget
 from repro.exceptions import ReproError, SignatureError
 from repro.structures.structure import Element, Structure
 
@@ -466,9 +467,12 @@ class NumpyTableOps:
         right_n = right_rows.shape[0]
         if left_n == 0 or right_n == 0:
             return out_cols, np.empty((0, len(out_cols)), dtype=np.int64)
+        budget = current_budget()
         if not shared:
             if left_n * right_n > self.row_cap:
                 raise TableOverflow
+            if budget is not None:
+                budget.charge(left_n * right_n)
             left_idx = np.repeat(np.arange(left_n), right_n)
             right_idx = np.tile(np.arange(right_n), left_n)
         else:
@@ -484,6 +488,8 @@ class NumpyTableOps:
             total = int(counts.sum())
             if total > self.row_cap:
                 raise TableOverflow
+            if budget is not None:
+                budget.charge(left_n + right_n + total)
             left_idx = np.repeat(np.arange(left_n), counts)
             starts = np.repeat(lo, counts)
             offsets = np.arange(total) - np.repeat(
@@ -544,6 +550,7 @@ class NumpyTableOps:
         right_cols, right_rows = right
         left_pos = [left_cols.index(c) for c in shared]
         right_pos = [right_cols.index(c) for c in shared]
+        budget = current_budget()
         buckets: dict[tuple, list[tuple]] = {}
         for row in map(tuple, right_rows.tolist()):
             key = tuple(row[i] for i in right_pos)
@@ -551,6 +558,8 @@ class NumpyTableOps:
         out: list[tuple] = []
         for row in map(tuple, left_rows.tolist()):
             key = tuple(row[i] for i in left_pos)
+            if budget is not None:
+                budget.charge(1)
             for extras in buckets.get(key, ()):
                 out.append(row + extras)
                 if len(out) > self.row_cap:

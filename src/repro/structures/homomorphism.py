@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping
 
+from repro.budget import current_budget
 from repro.exceptions import SignatureError, StructureError
 from repro.structures.indexes import PositionalIndex
 from repro.structures.structure import Element, Structure
@@ -131,6 +132,7 @@ class _HomomorphismSearch:
             order = sorted(order, key=lambda e: (e not in restrict_to,))
         assignment: Assignment = {}
         seen_projections: set[tuple[tuple[Element, Element], ...]] = set()
+        budget = current_budget()
 
         def candidates(element: Element) -> Iterable[Element]:
             if element in self.fixed:
@@ -159,6 +161,8 @@ class _HomomorphismSearch:
                         yield {e: assignment[e] for e in restrict_to}
                 return
             element = order[index]
+            if budget is not None:
+                budget.charge(len(self.target_elements))
             for value in candidates(element):
                 if self._consistent(assignment, element, value):
                     assignment[element] = value
@@ -169,6 +173,8 @@ class _HomomorphismSearch:
             if not remaining:
                 return True
             element = remaining[0]
+            if budget is not None:
+                budget.charge(len(self.target_elements))
             for value in candidates(element):
                 if self._consistent(partial, element, value):
                     partial[element] = value

@@ -1,10 +1,13 @@
 """Workload generators: query families, random queries and domain scenarios."""
 
 from repro.workloads.generators import (
+    clique_query,
     cycle_query,
     example_4_1_query,
     example_4_2_query,
     example_5_21_query,
+    frontier_family,
+    frontier_query_pair,
     grid_query,
     hidden_clique_query,
     path_query,
@@ -23,7 +26,10 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "clique_query",
     "cycle_query",
+    "frontier_family",
+    "frontier_query_pair",
     "example_4_1_query",
     "example_4_2_query",
     "example_5_21_query",

@@ -114,6 +114,64 @@ def hidden_clique_query(k: int, relation: str = "E") -> PPFormula:
     return pp_from_atom_specs(specs, liberal=["x", "y"])
 
 
+def clique_query(k: int, relation: str = "E") -> PPFormula:
+    """The k-clique query with every variable liberal.
+
+    With no quantified variables the contract graph *is* the query
+    graph, so both the contract and the core have treewidth ``k - 1``:
+    for ``k >= bound + 2`` the family fails both halves of the
+    tractability condition and classifies as p-#Clique-hard -- the
+    canonical witness on the intractable side of the frontier.
+    """
+    if k < 2:
+        raise WorkloadError("k must be at least 2")
+    variables = [f"x{i}" for i in range(k)]
+    specs = [
+        (relation, (variables[i], variables[j]))
+        for i in range(k)
+        for j in range(k)
+        if i != j
+    ]
+    return pp_from_atom_specs(specs, liberal=variables)
+
+
+def frontier_query_pair(
+    k: int, relation: str = "E"
+) -> tuple[PPFormula, PPFormula]:
+    """A matched ``(tractable, hard)`` pair straddling the frontier.
+
+    Both queries share the liberal variables ``x0 .. x{k-1}`` (same
+    arity, same signature); they differ only in their atom structure:
+
+    * the tractable side is the path ``E(x0,x1) & ... &
+      E(x{k-2},x{k-1})`` -- treewidth 1, verdict FPT at any bound;
+    * the hard side is the k-clique on the same variables -- contract
+      *and* core treewidth ``k - 1``, verdict p-#Clique-hard whenever
+      ``k - 1`` exceeds the policy's treewidth bound.
+
+    At the default bound of 2, ``k >= 4`` puts the pair on opposite
+    sides of the trichotomy, which is what the routing benchmarks and
+    policy tests need: identical wire-level shape, opposite verdicts.
+    """
+    if k < 2:
+        raise WorkloadError("k must be at least 2")
+    variables = [f"x{i}" for i in range(k)]
+    path_specs = [
+        (relation, (variables[i], variables[i + 1])) for i in range(k - 1)
+    ]
+    tractable = pp_from_atom_specs(path_specs, liberal=variables)
+    return tractable, clique_query(k, relation=relation)
+
+
+def frontier_family(
+    ks: Sequence[int], relation: str = "E"
+) -> list[tuple[PPFormula, PPFormula]]:
+    """Matched frontier pairs (:func:`frontier_query_pair`) for each ``k``."""
+    if not ks:
+        raise WorkloadError("need at least one clique size")
+    return [frontier_query_pair(k, relation=relation) for k in ks]
+
+
 def union_of_paths_query(lengths: Sequence[int], relation: str = "E") -> EPFormula:
     """A UCQ asking for pairs connected by a path of any of the given lengths.
 

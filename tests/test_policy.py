@@ -1,0 +1,360 @@
+"""Classification-driven routing: profiles, policies, budgets, /classify.
+
+Covers the acceptance surface of the routing layer: classification
+happens exactly once per cached plan (zero on hits), policies resolve
+per request and override the engine default, ``reject`` refuses hard
+queries at plan time with the verdict attached, budgets abort
+cooperatively — including inside pool workers — ``degrade`` falls back
+to the profile estimator, the ``/classify`` dry run and the 422/504
+wire forms, and the regression the budgets exist for: a
+deadline-exceeded request under a budget policy stops consuming its
+worker thread instead of lingering as ``abandoned``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    BudgetExceeded,
+    CostBudget,
+    PolicyRejection,
+    ReproError,
+    classify,
+)
+from repro.core.classification import Case
+from repro.engine.api import Engine
+from repro.engine.policy import ALLOW, ExecutionPolicy
+from repro.exceptions import WorkloadError
+from repro.serve import (
+    BackgroundServer,
+    CountingServer,
+    CountingService,
+    ServiceConfig,
+)
+from repro.structures.random_gen import random_graph
+from repro.workloads import clique_query, frontier_family, frontier_query_pair
+
+TRACTABLE, HARD = frontier_query_pair(4)
+PATH_QUERY = "exists z. (E(x, z) & E(z, y))"
+
+
+def graph(size: int = 12, p: float = 0.4, seed: int = 3):
+    return random_graph(size, p, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Plan profiles and classification accounting
+# ----------------------------------------------------------------------
+def test_classification_once_per_cached_plan():
+    engine = Engine()
+    g = graph()
+    for _ in range(3):
+        engine.count(PATH_QUERY, g)
+    stats = engine.stats()
+    assert stats.classifications == 1
+    assert stats.verdicts == {"FPT": 1}
+    # A later compile is a cache hit: the memoized profile is reused
+    # and nothing is re-counted.
+    profile = engine.compile(PATH_QUERY).profile
+    assert profile is not None
+    assert profile.case is Case.FPT
+    assert engine.stats().classifications == 1
+
+
+def test_profile_round_trips_through_plan_store(tmp_path):
+    warm = Engine(persistent_cache_dir=str(tmp_path))
+    original = warm.compile(str(TRACTABLE)).profile
+    assert original is not None
+
+    cold = Engine(persistent_cache_dir=str(tmp_path))
+    loaded = cold.compile(str(TRACTABLE)).profile
+    assert cold.stats().persist_hits == 1
+    # classify_seconds is compare=False, so equality means the verdict
+    # and every measure survived the disk round trip.
+    assert loaded == original
+
+
+def test_frontier_pairs_straddle_the_trichotomy():
+    tractable, hard = frontier_query_pair(4)
+    assert classify(tractable).case is Case.FPT
+    assert classify(hard).case is Case.SHARP_CLIQUE_HARD
+    # Same arity on both sides: the pair differs only in atom structure.
+    assert tractable.free_variables == hard.free_variables
+    # Below the bound the clique side is still tractable.
+    assert classify(clique_query(3)).case is Case.FPT
+    assert len(frontier_family([4, 5])) == 2
+    with pytest.raises(WorkloadError):
+        frontier_query_pair(1)
+    with pytest.raises(WorkloadError):
+        frontier_family([])
+
+
+# ----------------------------------------------------------------------
+# Policy resolution and admission
+# ----------------------------------------------------------------------
+def test_policy_from_request_validation():
+    assert ExecutionPolicy.from_request("reject").mode == "reject"
+    policy = ExecutionPolicy.from_request({"mode": "budget", "max_steps": 50})
+    assert policy.make_budget().max_steps == 50
+    assert ExecutionPolicy.from_request(policy) is policy
+    assert ALLOW.make_budget() is None
+    with pytest.raises(ReproError):
+        ExecutionPolicy.from_request("bogus")
+    with pytest.raises(ReproError):
+        ExecutionPolicy.from_request({"mode": "budget", "max_steps": -1})
+    with pytest.raises(ReproError):
+        ExecutionPolicy.from_request({"mode": "allow", "unknown_field": 1})
+    with pytest.raises(ReproError):
+        ExecutionPolicy.from_request({"mode": "reject", "reject_cases": ["NOPE"]})
+
+
+def test_reject_policy_refuses_hard_query_at_plan_time():
+    engine = Engine(policy="reject")
+    g = graph(30, 0.5, seed=1)
+    with pytest.raises(PolicyRejection) as excinfo:
+        engine.count(str(HARD), g)
+    assert excinfo.value.verdict == "SHARP_CLIQUE_HARD"
+    assert excinfo.value.measures["contract_treewidth"] == 3
+    assert excinfo.value.policy == "reject"
+    stats = engine.stats()
+    assert stats.policy_rejections == 1
+    assert stats.count_calls == 0  # refused before any execution
+    # The matched tractable twin sails through the same policy.
+    assert engine.count(str(TRACTABLE), g) >= 0
+
+
+def test_per_request_policy_overrides_engine_default():
+    g = graph(8, 0.5, seed=5)
+    permissive = Engine()
+    with pytest.raises(PolicyRejection):
+        permissive.count(str(HARD), g, policy="reject")
+    strict = Engine(policy="reject")
+    # The override relaxes as well as tightens.
+    assert strict.count(str(HARD), g, policy="allow") >= 0
+    assert strict.stats().policy_rejections == 0
+
+
+# ----------------------------------------------------------------------
+# Cooperative budgets
+# ----------------------------------------------------------------------
+def test_budget_abort_raises_with_progress():
+    engine = Engine(policy={"mode": "budget", "max_steps": 5})
+    with pytest.raises(BudgetExceeded) as excinfo:
+        engine.count(PATH_QUERY, graph())
+    assert excinfo.value.progress["steps"] > 5
+    assert excinfo.value.progress["max_steps"] == 5
+    assert engine.stats().budget_aborts == 1
+
+
+def test_degrade_returns_profile_estimate():
+    g = graph(10, 0.5, seed=5)
+    exact = Engine().count(str(TRACTABLE), g)
+    cold = Engine()
+    degraded = cold.count(
+        str(TRACTABLE), g, policy={"mode": "degrade", "max_steps": 1}
+    )
+    # The estimator contract: the trivial upper bound n^arity, which by
+    # construction dominates the exact count.
+    assert degraded == len(g.universe) ** 4
+    assert degraded >= exact
+    assert cold.stats().budget_aborts == 1
+
+
+def test_budget_abort_inside_pool_workers():
+    engine = Engine(processes=1)
+    try:
+        with pytest.raises(BudgetExceeded):
+            engine.count_sharded(
+                PATH_QUERY,
+                graph(20, 0.4, seed=9),
+                shard_count=2,
+                parallel=True,
+                policy={"mode": "budget", "max_steps": 5},
+            )
+        assert engine.stats().budget_aborts == 1
+    finally:
+        engine.close()
+
+
+def test_cost_budget_ships_remaining_allowance_across_pickle():
+    budget = CostBudget(max_steps=100, max_seconds=30.0).start()
+    budget.charge(40)
+    shipped = pickle.loads(pickle.dumps(budget))
+    assert shipped.max_steps == 60
+    assert shipped.steps == 0
+    assert shipped.max_seconds is not None and shipped.max_seconds <= 30.0
+
+
+def test_budget_validation_is_a_bad_request_not_an_abort():
+    with pytest.raises(ReproError) as excinfo:
+        CostBudget(max_steps=0)
+    assert not isinstance(excinfo.value, BudgetExceeded)
+
+
+# ----------------------------------------------------------------------
+# engine.classify and the HTTP surface
+# ----------------------------------------------------------------------
+def test_engine_classify_reuses_the_plan_cache():
+    engine = Engine()
+    profile = engine.classify(str(HARD))
+    assert profile.case is Case.SHARP_CLIQUE_HARD
+    assert profile.case_for(4) is Case.FPT  # re-derived, not recomputed
+    assert engine.stats().classifications == 1
+    engine.classify(str(HARD))
+    assert engine.stats().classifications == 1
+
+
+def _post(base: str, path: str, payload: dict, timeout: float = 30.0) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def _get(base: str, path: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return json.load(response)
+
+
+def test_http_classify_and_policy_routing():
+    server = CountingServer(service=CountingService(), port=0)
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+
+        # The dry run: both sides of the frontier, no structure shipped.
+        verdict = _post(
+            base, "/classify", {"query": str(TRACTABLE), "policy": "reject"}
+        )
+        assert verdict["verdict"] == "FPT"
+        assert verdict["admitted"] is True
+        assert verdict["profile"]["contract_treewidth"] == 1
+        refused = _post(
+            base, "/classify", {"query": str(HARD), "policy": "reject"}
+        )
+        assert refused["verdict"] == "SHARP_CLIQUE_HARD"
+        assert refused["admitted"] is False  # still 200: classify never 422s
+        assert refused["policy"]["mode"] == "reject"
+
+        # The same hard query through /count with the same policy: 422
+        # with the verdict and measures in the body.
+        graph_json = {
+            "E": [[i, j] for i in range(6) for j in range(6) if i != j]
+        }
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                base,
+                "/count",
+                {
+                    "query": str(HARD),
+                    "structure": {"relations": graph_json},
+                    "policy": "reject",
+                },
+            )
+        assert excinfo.value.code == 422
+        body = json.load(excinfo.value)
+        assert body["verdict"] == "SHARP_CLIQUE_HARD"
+        assert body["measures"]["contract_treewidth"] == 3
+        assert body["policy"] == "reject"
+
+        # A tripped step budget surfaces as 504 with progress stats.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                base,
+                "/count",
+                {
+                    "query": str(TRACTABLE),
+                    "structure": {"relations": graph_json},
+                    "policy": {"mode": "budget", "max_steps": 5},
+                },
+            )
+        assert excinfo.value.code == 504
+        body = json.load(excinfo.value)
+        assert body["progress"]["steps"] > 5
+
+        # Malformed policies are the client's fault, not a 500.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                base,
+                "/count",
+                {
+                    "query": PATH_QUERY,
+                    "structure": {"relations": graph_json},
+                    "policy": ["not", "a", "policy"],
+                },
+            )
+        assert excinfo.value.code == 400
+
+        # The verdict counters reach /metrics in both renderings.
+        engine_stats = _get(base, "/metrics")["engine"]
+        assert engine_stats["classifications"] >= 2
+        assert engine_stats["verdicts"]["SHARP_CLIQUE_HARD"] >= 1
+        assert engine_stats["policy_rejections"] >= 1
+        assert engine_stats["budget_aborts"] >= 1
+        scrape = urllib.request.urlopen(
+            f"{base}/metrics?format=prometheus", timeout=30
+        ).read().decode()
+        assert 'repro_plan_verdicts_total{verdict="SHARP_CLIQUE_HARD"}' in scrape
+        assert "repro_engine_policy_rejections_total" in scrape
+
+
+def test_deadline_budget_stops_worker_and_drains_abandoned():
+    """The regression budgets exist for: a timed-out request under a
+    budget policy aborts *inside* the engine around the deadline, so
+    the service's ``abandoned`` gauge drains instead of a worker thread
+    grinding on for the query's natural (here: effectively unbounded)
+    runtime."""
+    config = ServiceConfig(
+        max_in_flight=1, max_queue=0, request_timeout_seconds=0.4
+    )
+    server = CountingServer(
+        service=CountingService(
+            engine=Engine(), config=config, owns_engine=True
+        ),
+        port=0,
+    )
+    # A 5-clique on a 60-node graph: bag-width-5 DP over a 60-element
+    # domain, far beyond anything a 0.4s deadline could finish.
+    monster = clique_query(5)
+    g = random_graph(60, 0.5, seed=11)
+    edges = [[a, b] for a, b in g.relations["E"]]
+    with BackgroundServer(server) as background:
+        host, port = background.server.address
+        base = f"http://{host}:{port}"
+        started = time.monotonic()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                base,
+                "/count",
+                {
+                    "query": str(monster),
+                    "structure": {"relations": {"E": edges}},
+                    "policy": {"mode": "budget"},
+                },
+                timeout=30,
+            )
+        assert excinfo.value.code == 504
+        # The budget's max_seconds was capped at the request deadline,
+        # so the executor thread must release its slot shortly after
+        # the 504 -- not after the count finishes naturally.
+        deadline = time.monotonic() + 8.0
+        while time.monotonic() < deadline:
+            health = _get(base, "/healthz")
+            if health["executing"] == 0 and health["abandoned"] == 0:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail(
+                "budgeted execution kept its worker thread after the 504"
+            )
+        assert time.monotonic() - started < 10.0

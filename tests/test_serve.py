@@ -49,9 +49,9 @@ class SlowEngine(Engine):
         super().__init__(**kwargs)
         self.delay = delay
 
-    def count(self, query, structure, strategy="auto"):
+    def count(self, query, structure, strategy="auto", policy=None):
         time.sleep(self.delay)
-        return super().count(query, structure, strategy)
+        return super().count(query, structure, strategy, policy=policy)
 
 
 # ----------------------------------------------------------------------
