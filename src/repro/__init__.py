@@ -80,7 +80,7 @@ from repro.engine import (
     execute_sharded,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "ReproError",

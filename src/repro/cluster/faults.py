@@ -1,0 +1,170 @@
+"""Fault injection for the cluster, driven by the ``REPRO_FAULTS`` env.
+
+The chaos suite needs failures it can *cause*, not just wait for.  This
+module is the one seam both cluster ends consult, so every injected
+fault flows through the same code paths a real failure would:
+
+* ``drop_frame`` -- probability that an outbound frame is silently
+  discarded (a lossy link); a dropped heartbeat eventually trips the
+  coordinator's deadline, a dropped result leaves the job in flight
+  until the worker's death or the caller's timeout reclaims it.
+* ``delay_heartbeat`` -- probability that a worker sits out one full
+  heartbeat interval before sending (a GC pause, a stalled box).
+* ``refuse_registration`` -- probability that the coordinator rejects
+  a ``register`` frame (capacity policies, rolling restarts); the
+  worker backs off and retries.
+* ``delay_execute`` -- seconds of artificial latency added to every
+  shard-unit execution (not a probability).  This is how the chaos
+  tests hold a count in flight long enough to SIGKILL a worker
+  mid-job deterministically instead of racing the scheduler.
+* ``seed`` -- seeds the injector's private RNG so a failing chaos run
+  reproduces.
+
+``REPRO_FAULTS`` is a comma-separated ``key=value`` list, e.g.::
+
+    REPRO_FAULTS="drop_frame=0.1,delay_heartbeat=0.2,seed=7"
+
+Unset (or empty) means no injection anywhere; unknown keys are an
+error so a typo cannot silently disable a chaos scenario.  See
+``docs/operations.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+#: The environment variable the cluster reads its fault plan from.
+ENV_VAR = "REPRO_FAULTS"
+
+_PROBABILITY_KEYS = ("drop_frame", "delay_heartbeat", "refuse_registration")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault configuration (all zero: no injection)."""
+
+    drop_frame: float = 0.0
+    delay_heartbeat: float = 0.0
+    refuse_registration: float = 0.0
+    delay_execute: float = 0.0
+    seed: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.drop_frame
+            or self.delay_heartbeat
+            or self.refuse_registration
+            or self.delay_execute
+        )
+
+    def as_env(self) -> str:
+        """The plan back in ``REPRO_FAULTS`` syntax (for subprocesses)."""
+        parts = []
+        for key in (*_PROBABILITY_KEYS, "delay_execute"):
+            value = getattr(self, key)
+            if value:
+                parts.append(f"{key}={value}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+
+def load_fault_plan(spec: str | None = None) -> FaultPlan:
+    """Parse ``spec`` (default: the ``REPRO_FAULTS`` env) into a plan."""
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "")
+    values: dict = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, separator, raw = item.partition("=")
+        key = key.strip()
+        if not separator:
+            raise ReproError(
+                f"{ENV_VAR} entry {item!r} is not of the form key=value"
+            )
+        try:
+            if key == "seed":
+                values[key] = int(raw)
+            elif key in _PROBABILITY_KEYS:
+                probability = float(raw)
+                if not 0.0 <= probability <= 1.0:
+                    raise ValueError("probability outside [0, 1]")
+                values[key] = probability
+            elif key == "delay_execute":
+                delay = float(raw)
+                if delay < 0.0:
+                    raise ValueError("negative delay")
+                values[key] = delay
+            else:
+                raise ReproError(f"{ENV_VAR} has unknown fault key {key!r}")
+        except ValueError as exc:
+            raise ReproError(f"{ENV_VAR} entry {item!r}: {exc}") from exc
+    return FaultPlan(**values)
+
+
+class FaultInjector:
+    """Stateful fault decisions for one protocol endpoint.
+
+    One injector per endpoint (a worker, or the coordinator) with its
+    own RNG, so a seeded chaos scenario replays the same fault sequence
+    per endpoint regardless of the other end's traffic.  Heartbeat
+    frames are exempt from ``drop_frame`` *acknowledgements*
+    coordinator-side but not worker-side -- the knob models the lossy
+    worker uplink the reassignment machinery exists for.  Every
+    injected fault is counted, so tests (and the ``/metrics`` cluster
+    block) can assert injection actually happened instead of passing
+    vacuously.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None):
+        self.plan = plan if plan is not None else load_fault_plan()
+        self._rng = random.Random(self.plan.seed)
+        self.counters = {
+            "frames_dropped": 0,
+            "heartbeats_delayed": 0,
+            "registrations_refused": 0,
+            "executions_delayed": 0,
+        }
+
+    def should_drop_frame(self, frame_type: str | None = None) -> bool:
+        if self.plan.drop_frame <= 0.0:
+            return False
+        # Losing a registration handshake is modeled by
+        # refuse_registration, not by a silent drop that would leave
+        # the worker waiting on a reply forever.
+        if frame_type in ("register", "registered", "register_refused"):
+            return False
+        if self._rng.random() < self.plan.drop_frame:
+            self.counters["frames_dropped"] += 1
+            return True
+        return False
+
+    def heartbeat_delay(self, interval: float) -> float:
+        """Extra seconds to sit on the next heartbeat (usually 0)."""
+        if self.plan.delay_heartbeat <= 0.0:
+            return 0.0
+        if self._rng.random() < self.plan.delay_heartbeat:
+            self.counters["heartbeats_delayed"] += 1
+            return interval
+        return 0.0
+
+    def should_refuse_registration(self) -> bool:
+        if self.plan.refuse_registration <= 0.0:
+            return False
+        if self._rng.random() < self.plan.refuse_registration:
+            self.counters["registrations_refused"] += 1
+            return True
+        return False
+
+    def execute_delay(self) -> float:
+        """Artificial seconds to add to one shard-unit execution."""
+        if self.plan.delay_execute > 0.0:
+            self.counters["executions_delayed"] += 1
+        return self.plan.delay_execute

@@ -1,0 +1,136 @@
+"""The wire protocol shared by the cluster coordinator and its workers.
+
+Every message is one length-prefixed frame::
+
+    !II (header length, body length) | header JSON | body pickle bytes
+
+The header is a small JSON object -- always carrying ``type`` (one of
+:data:`MESSAGE_TYPES`) plus type-specific scalar fields -- so both ends
+can route a frame without touching the body.  The body is an optional
+pickle payload for the values JSON cannot carry faithfully: structures
+and shard units, fingerprints (nested tuples), deltas, the remaining
+allowance of a :class:`~repro.budget.CostBudget` (its ``__getstate__``
+ships exactly that), worker-recorded trace spans, and exceptions.
+
+Pickle is trusted here by construction: the coordinator and its workers
+are both this library, started by the same operator on the same trust
+boundary as the :mod:`multiprocessing` pool they generalize.  The codec
+still refuses frames above :data:`MAX_FRAME_BYTES` so a corrupted
+length prefix cannot ask for an unbounded read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import struct
+
+from repro.exceptions import ReproError
+
+#: Frame header: big-endian (header length, body length).
+_LENGTHS = struct.Struct("!II")
+
+#: Refuse frames larger than this (a corrupt prefix, not a real peer).
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+#: Every frame type either end may send.  The docs-freshness check
+#: diffs ``docs/cluster.md`` against this registry in both directions.
+MESSAGE_TYPES = (
+    "register",
+    "registered",
+    "register_refused",
+    "heartbeat",
+    "heartbeat_ack",
+    "place",
+    "unplace",
+    "delta",
+    "execute",
+    "result",
+    "goodbye",
+)
+
+
+class ProtocolError(ReproError):
+    """A peer sent a frame this protocol cannot accept."""
+
+
+def encode_frame(header: dict, body: bytes = b"") -> bytes:
+    """One wire frame: length prefix, JSON header, pickle body."""
+    frame_type = header.get("type")
+    if frame_type not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _LENGTHS.pack(len(header_bytes), len(body)) + header_bytes + body
+
+
+def pickle_body(value) -> bytes:
+    """Pickle a frame body, failing with a protocol error when unpicklable."""
+    try:
+        return pickle.dumps(value)
+    except Exception as exc:
+        raise ProtocolError(
+            f"frame body cannot be pickled: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def unpickle_body(body: bytes):
+    """The pickled payload of a frame (``None`` for an empty body)."""
+    if not body:
+        return None
+    return pickle.loads(body)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[dict, bytes] | None:
+    """Read one ``(header, body)`` frame; ``None`` on a clean EOF.
+
+    A connection that ends *inside* a frame (a SIGKILLed worker, a
+    dropped link) raises ``asyncio.IncompleteReadError`` to the caller
+    -- the read loops treat any exception as a dead peer, so a torn
+    frame and a closed socket converge on the same recovery path.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTHS.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise
+    header_length, body_length = _LENGTHS.unpack(prefix)
+    if header_length + body_length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {header_length + body_length} bytes exceeds "
+            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    header_bytes = await reader.readexactly(header_length)
+    body = await reader.readexactly(body_length) if body_length else b""
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("type") not in MESSAGE_TYPES:
+        raise ProtocolError(f"malformed frame header: {header!r}")
+    return header, body
+
+
+async def send_frame(
+    writer: asyncio.StreamWriter,
+    header: dict,
+    body: bytes = b"",
+    faults=None,
+) -> bool:
+    """Write one frame (and drain); ``False`` when a fault dropped it.
+
+    ``faults`` is an optional
+    :class:`~repro.cluster.faults.FaultInjector`; a triggered
+    ``drop_frame`` silently discards the frame, which is exactly what a
+    lossy link would do to a peer -- the recovery machinery (heartbeat
+    deadlines, job reassignment) must cope, and the chaos tests assert
+    that it does.
+    """
+    if faults is not None and faults.should_drop_frame(header.get("type")):
+        return False
+    writer.write(encode_frame(header, body))
+    await writer.drain()
+    return True

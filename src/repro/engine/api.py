@@ -62,8 +62,11 @@ from repro.engine.registry import (
 )
 from repro.exceptions import BudgetExceeded, PolicyRejection, ReproError
 from repro.obs import trace as _trace
+from repro.obs.log import get_logger
 from repro.obs.trace import NOOP_SPAN
 from repro.structures.structure import Structure
+
+_log = get_logger("engine.api")
 
 #: Anywhere the engine takes a structure it also takes the *name* of a
 #: registered one (see :class:`~repro.engine.registry.StructureRegistry`).
@@ -306,6 +309,8 @@ class Engine:
             context_capacity=worker_context_cache_size,
             encoding=self.encoding,
         )
+        #: An attached ClusterCoordinator, or None for single-host mode.
+        self.cluster = None
         self._lock = threading.Lock()
         self._delta_lock = threading.Lock()
         self._compile_seconds = 0.0
@@ -423,6 +428,61 @@ class Engine:
     # ------------------------------------------------------------------
     # Named resident structures: the registry
     # ------------------------------------------------------------------
+    def attach_cluster(self, cluster) -> None:
+        """Attach a :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+
+        Sharded counts on registered refs route their shard units to
+        cluster workers holding the shards from now on, degrading to
+        the local :class:`~repro.engine.pool.WorkerPool` whenever the
+        cluster cannot take the work.  Every *currently* registered
+        pinned entry's shards are placed immediately, so attachment
+        mirrors what registration would have done had the cluster been
+        there first; entries registered later place as part of
+        :meth:`register_structure`.
+        """
+        self.cluster = cluster
+        for name in self.registry.names():
+            entry = self.registry.peek(name)
+            if entry is None or not entry.pinned or entry.sharded is None:
+                continue
+            entry.placements = self._cluster_place(
+                entry.sharded.non_empty_shards()
+            )
+
+    def detach_cluster(self):
+        """Detach (and return) the cluster; counts go local again."""
+        cluster, self.cluster = self.cluster, None
+        return cluster
+
+    def _cluster_place(self, shards) -> dict:
+        """Best-effort placement; a degraded cluster never fails a call.
+
+        Returns ``{worker_id: shards placed}`` (empty when nothing was
+        placed) -- recorded on the registry entry for observability.
+        """
+        if self.cluster is None or not shards:
+            return {}
+        from repro.cluster.coordinator import ClusterUnavailable
+
+        try:
+            return self.cluster.place_structures(shards)
+        except ClusterUnavailable as exc:
+            _log.warning(
+                "cluster placement skipped",
+                extra={"error": str(exc)},
+            )
+            return {}
+
+    def _cluster_unplace(self, fingerprints) -> None:
+        if self.cluster is None or not fingerprints:
+            return
+        from repro.cluster.coordinator import ClusterUnavailable
+
+        try:
+            self.cluster.unplace(fingerprints)
+        except ClusterUnavailable:
+            pass  # nothing live to notify; placement state died with it
+
     def register_structure(
         self,
         name: str,
@@ -498,9 +558,16 @@ class Engine:
         drop = {f: True for f in drop if not (pin and f in keep)}
         if drop:
             self.pool.unpin_structures(tuple(drop))
+            self._cluster_unplace(tuple(drop))
         if pin:
             self.pool.pin_structures(
                 (structure,) + sharded.non_empty_shards()
+            )
+            # The cluster-wide generalization of the pin broadcast:
+            # each shard becomes resident on `replication` workers, and
+            # count_sharded on this ref routes to those holders.
+            entry.placements = self._cluster_place(
+                sharded.non_empty_shards()
             )
         return entry
 
@@ -642,6 +709,25 @@ class Engine:
             self.pool.unpin_structures(stale_fingerprints)
         if entry.pinned and fresh_pins:
             self.pool.pin_structures(fresh_pins)
+        if self.cluster is not None:
+            from repro.cluster.coordinator import ClusterUnavailable
+
+            # Mirror the fan-out cluster-wide: placed shards migrate in
+            # O(|delta|) (their placements re-key to the post-delta
+            # fingerprints), the re-shard fallback re-places, and fresh
+            # non-empty shards place like a registration.  The whole-
+            # structure update is pool-only -- the cluster holds shards.
+            try:
+                self.cluster.apply_delta(updates[1:])
+                if stale_fingerprints:
+                    self.cluster.unplace(stale_fingerprints)
+                if entry.pinned and fresh_pins:
+                    self.cluster.place_structures(fresh_pins)
+            except ClusterUnavailable as exc:
+                _log.warning(
+                    "cluster delta fan-out skipped",
+                    extra={"error": str(exc)},
+                )
 
     def unregister_structure(self, name: str) -> bool:
         """Drop the registered structure ``name``; ``False`` if unknown.
@@ -676,6 +762,7 @@ class Engine:
     def _forget_entry(self, entry: RegistryEntry) -> None:
         """Invalidate every trace of a retired registry entry."""
         self.pool.unpin_structures(self._entry_fingerprints(entry))
+        self._cluster_unplace(self._entry_fingerprints(entry))
         self.contexts.invalidate(entry.structure)
 
     def _context_for(self, plan: CountingPlan, structure: Structure):
@@ -822,6 +909,11 @@ class Engine:
                             processes=processes,
                             pool=self.pool,
                             encoding=self.encoding,
+                            # Cluster routing needs resident holders;
+                            # only a registered ref's shards are placed.
+                            cluster=(
+                                self.cluster if entry is not None else None
+                            ),
                         )
                 except BudgetExceeded as exc:
                     self._budget_aborted(resolved, exc)

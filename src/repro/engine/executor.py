@@ -418,6 +418,40 @@ def _run_shards_sequential(
     return out
 
 
+def _run_shards_cluster(
+    program: _ShardedProgram,
+    shards: Sequence[Structure],
+    cluster,
+    encoding: str | None,
+) -> list[list]:
+    """Route one fingerprint-only job per shard to its cluster holders.
+
+    The jobs ship no shard data at all -- placement at registration
+    time already made each shard resident on its holders -- just the
+    units, the ambient budget's remaining allowance, and the encoding
+    backend.  Worker-recorded spans come back in each result and are
+    re-parented into the caller's trace exactly like the local pool's.
+    Raises :class:`~repro.cluster.coordinator.ClusterUnavailable` when
+    the cluster cannot take the work (the caller degrades to the local
+    pool) and lets :class:`~repro.engine.pool.WorkerTaskError`
+    propagate for genuine task failures.
+    """
+    budget = current_budget()
+    jobs = [(program.units, shard.fingerprint()) for shard in shards]
+    with _trace.span(
+        "shard.fanout",
+        shards=len(jobs),
+        units=len(program.units),
+        cluster=True,
+    ):
+        results = cluster.run_units(jobs, budget=budget, encoding=encoding)
+        values_by_shard: list[list] = []
+        for index, (values, spans) in enumerate(results):
+            _trace.attach_foreign(spans, suffix=f"[{index}]")
+            values_by_shard.append(values)
+    return values_by_shard
+
+
 def _combine_term(
     term: tuple[int, tuple[int, ...], tuple[int, ...]],
     rows: dict[int, list],
@@ -436,6 +470,7 @@ def execute_sharded(
     processes: int | None = None,
     pool: WorkerPool | None = None,
     encoding: str | None = None,
+    cluster=None,
 ) -> int:
     """Count the answers of a compiled plan via sharded execution.
 
@@ -455,6 +490,14 @@ def execute_sharded(
     integer-encoding backend for the per-shard contexts built on the
     sequential path and in throwaway pools; the engine's long-lived
     pool carries its own backend, set at construction.
+
+    ``cluster`` (a :class:`~repro.cluster.coordinator.
+    ClusterCoordinator`) is tried first when given: each shard's units
+    are routed to a worker *holding* that shard.  A cluster that
+    cannot take the work -- no live workers, an unplaced shard, a
+    mid-count loss of every holder -- degrades to the local paths
+    below and the count is recomputed exactly; only a genuine task
+    exception propagates.
     """
     if isinstance(sharded, Structure):
         if shard_count is not None and shard_count < 1:
@@ -468,11 +511,26 @@ def execute_sharded(
 
     program = _lower_plan(plan)
     shards = sharded.non_empty_shards()
-    values_by_shard: list[list]
+    values_by_shard: list[list] | None = None
     if parallel is None:
         parallel = default_process_count() > 1 and len(shards) > 1
     jobs = [(program.units, shard) for shard in shards]
-    if parallel and len(jobs) > 1 and program.units:
+    if cluster is not None and jobs and program.units:
+        from repro.cluster.coordinator import ClusterUnavailable
+
+        try:
+            values_by_shard = _run_shards_cluster(
+                program, shards, cluster, encoding
+            )
+        except ClusterUnavailable:
+            # The cluster cannot take the work right now; recompute on
+            # the local paths below -- exactness over placement.
+            values_by_shard = None
+        except WorkerTaskError as failure:
+            raise failure.original from failure
+    if values_by_shard is not None:
+        pass
+    elif parallel and len(jobs) > 1 and program.units:
         if pool is not None:
             # Computed parent-side so the cached fingerprint ships
             # inside the pickled shard and keys the worker-resident

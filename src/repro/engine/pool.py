@@ -445,6 +445,10 @@ class WorkerPool:
     #: before degrading to best-effort distribution.
     BROADCAST_BARRIER_TIMEOUT = 60.0
 
+    #: Extra parent-side slack past the barrier timeout before a
+    #: broadcast is declared wedged (a worker died holding a job).
+    BROADCAST_RESULT_GRACE = 15.0
+
     def __init__(
         self,
         processes: int | None = None,
@@ -465,6 +469,7 @@ class WorkerPool:
         self.worker_context_hits = 0
         self.worker_context_misses = 0
         self.pin_broadcasts = 0
+        self.broadcast_timeouts = 0
 
     # ------------------------------------------------------------------
     def _ensure_pool(self):
@@ -561,17 +566,63 @@ class WorkerPool:
         check :attr:`started` first.  Returns the per-worker values;
         worker-side failures raise :class:`WorkerTaskError` exactly
         like :meth:`map`.
+
+        A worker that dies *between picking up its broadcast job and
+        reaching the barrier* loses the job forever -- the pool
+        respawns the process but never re-queues taken work, so a
+        plain ``map`` would block for good while every other worker
+        times out of the barrier and returns.  The parent therefore
+        waits at most ``BROADCAST_BARRIER_TIMEOUT +
+        BROADCAST_RESULT_GRACE``; on timeout it logs which worker pids
+        died, bumps :attr:`broadcast_timeouts`, and **restarts the
+        pool** (:meth:`terminate`) instead of deadlocking.  Returning
+        ``[]`` (zero confirmations) is sound for every broadcast task:
+        pins, unpins, and delta re-keys are all recorded parent-side
+        first, and the restarted pool's initializer rebuilds exactly
+        that state.
         """
+        import multiprocessing
+
         pool = self._ensure_pool()
+        alive_before = self._worker_pids()
         barrier = self._ensure_manager().Barrier(self.processes)
         job = (payload, barrier, self.BROADCAST_BARRIER_TIMEOUT)
-        raw = pool.map(task, [job] * self.processes, chunksize=1)
+        pending = pool.map_async(task, [job] * self.processes, chunksize=1)
+        try:
+            raw = pending.get(
+                self.BROADCAST_BARRIER_TIMEOUT + self.BROADCAST_RESULT_GRACE
+            )
+        except multiprocessing.TimeoutError:
+            dead = sorted(set(alive_before) - set(self._worker_pids()))
+            with self._lock:
+                self.broadcast_timeouts += 1
+            _log.warning(
+                "broadcast wedged (worker died holding a job); "
+                "restarting the pool",
+                extra={"dead_worker_pids": dead or "undetected"},
+            )
+            self.terminate()
+            return []
         values = []
         for item in raw:
             if isinstance(item, _TaskFailure):
                 raise WorkerTaskError(item.exception)
             values.append(item.value)
         return values
+
+    def _worker_pids(self) -> list[int]:
+        """Current worker pids (best-effort dead-worker diagnostics)."""
+        pool = self._pool
+        if pool is None:
+            return []
+        try:
+            return [
+                process.pid
+                for process in pool._pool  # noqa: SLF001 - no public API
+                if process.is_alive()
+            ]
+        except Exception:  # pragma: no cover - interpreter variations
+            return []
 
     def pin_structures(self, structures: Sequence[Structure]) -> int:
         """Pin ``structures`` resident in every worker (and future ones).

@@ -189,6 +189,9 @@ class RegistryEntry:
     hits: int = 0
     version: int = 1
     registered_at: float = field(default_factory=time.time)
+    #: Cluster placement at registration time: worker id -> how many of
+    #: this entry's shards it holds (empty without an attached cluster).
+    placements: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """A JSON-friendly view (metadata only, never the data itself)."""
@@ -206,6 +209,7 @@ class RegistryEntry:
             "hits": self.hits,
             "version": self.version,
             "registered_at": self.registered_at,
+            "placements": dict(self.placements),
         }
 
 
@@ -375,6 +379,9 @@ class StructureRegistry:
                 hits=current.hits,
                 version=current.version + 1,
                 registered_at=current.registered_at,
+                # Placements re-key across a delta rather than reshuffle;
+                # the engine overwrites this on the re-shard fallback.
+                placements=dict(current.placements),
             )
             self._entries[name] = entry
             self._entries.move_to_end(name)

@@ -64,6 +64,21 @@ ENGINE_COUNTERS = (
     "budget_aborts",
 )
 
+#: Cluster-coordinator counters exposed as
+#: ``repro_cluster_<name>_total`` (all zero when no cluster is
+#: attached, keeping the family set deterministic).
+_CLUSTER_COUNTERS = (
+    "registrations",
+    "registrations_refused",
+    "heartbeats",
+    "heartbeat_timeouts",
+    "worker_failures",
+    "reassignments",
+    "jobs_dispatched",
+    "jobs_completed",
+    "jobs_failed",
+)
+
 #: The trichotomy verdicts always present in the labeled verdict
 #: family, so the exposed series set stays deterministic even before
 #: the first classification.
@@ -123,6 +138,25 @@ _GAUGES = (
      "obs", "traces_retained"),
     ("repro_trace_capacity", "Capacity of the trace ring buffer.",
      "obs", "trace_capacity"),
+    ("repro_cluster_attached", "1 when an execution cluster is attached.",
+     "cluster", "attached"),
+    ("repro_cluster_workers", "Live registered cluster workers.",
+     "cluster", "workers"),
+    ("repro_cluster_capacity_slots",
+     "Total concurrent-job capacity across live workers.",
+     "cluster", "capacity_slots"),
+    ("repro_cluster_in_flight_jobs",
+     "Shard units currently executing on cluster workers.",
+     "cluster", "in_flight"),
+    ("repro_cluster_pending_jobs",
+     "Shard units waiting for a free worker slot.",
+     "cluster", "pending_jobs"),
+    ("repro_cluster_placed_fingerprints",
+     "Shard fingerprints resident somewhere in the cluster.",
+     "cluster", "placements"),
+    ("repro_cluster_replication",
+     "Configured placement replication factor.",
+     "cluster", "replication"),
 )
 
 
@@ -259,6 +293,15 @@ def render_prometheus(metrics: Mapping) -> str:
         verdicts.add(observed.get(case, 0), {"verdict": case})
     families.append(verdicts)
 
+    cluster = metrics.get("cluster", {})
+    for counter in _CLUSTER_COUNTERS:
+        family = _Family(
+            f"repro_cluster_{counter}_total", "counter",
+            f"Cluster coordinator counter `{counter}`; see docs/cluster.md.",
+        )
+        family.add(cluster.get(counter, 0))
+        families.append(family)
+
     for name, help_text, block, key in _GAUGES:
         family = _Family(name, "gauge", help_text)
         family.add(metrics.get(block, {}).get(key, 0))
@@ -281,6 +324,7 @@ def family_names() -> set[str]:
     }
     names.update(f"repro_engine_{c}_total" for c in ENGINE_COUNTERS)
     names.update(f"repro_engine_{p}_seconds_total" for p in ("compile", "execute"))
+    names.update(f"repro_cluster_{c}_total" for c in _CLUSTER_COUNTERS)
     names.update(entry[0] for entry in _GAUGES)
     return names
 

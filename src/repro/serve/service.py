@@ -634,6 +634,7 @@ class CountingService:
             "pool_started": self.engine.pool.started,
             "registry_entries": len(self.engine.registry),
             "registry_bytes": self.engine.registry.resident_bytes,
+            "cluster": self._cluster_block(),
         }
 
     def metrics(self) -> dict:
@@ -670,7 +671,15 @@ class CountingService:
                 "traces_retained": len(_trace.get_tracer()),
                 "trace_capacity": _trace.get_tracer().capacity,
             },
+            "cluster": self._cluster_block(),
         }
+
+    def _cluster_block(self) -> dict:
+        """The attached cluster's status, or ``{"attached": False}``."""
+        cluster = getattr(self.engine, "cluster", None)
+        if cluster is None:
+            return {"attached": False}
+        return cluster.status()
 
     @property
     def closed(self) -> bool:

@@ -29,10 +29,25 @@ def test_checker_detects_missing_and_stale_routes(tmp_path):
     assert any("/structures" in p for p in problems)  # undocumented route
 
 
+def test_cluster_docs_match_frame_registry():
+    problems = check_docs_freshness.check_cluster()
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_detects_missing_and_stale_frame_types(tmp_path):
+    stale = tmp_path / "cluster.md"
+    stale.write_text("### `register`\n\n### `bygone_frame`\n")
+    problems = check_docs_freshness.check_cluster(stale)
+    assert any("bygone_frame" in p for p in problems)  # stale heading
+    assert any("'execute'" in p for p in problems)  # undocumented type
+
+
 def test_docs_pages_exist_and_crosslink():
     docs = REPO_ROOT / "docs"
-    for page in ("architecture.md", "http_api.md", "operations.md"):
+    for page in ("architecture.md", "http_api.md", "operations.md",
+                 "cluster.md"):
         assert (docs / page).exists(), f"docs/{page} is missing"
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for page in ("docs/architecture.md", "docs/http_api.md", "docs/operations.md"):
+    for page in ("docs/architecture.md", "docs/http_api.md",
+                 "docs/operations.md", "docs/cluster.md"):
         assert page in readme, f"README does not link {page}"

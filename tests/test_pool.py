@@ -204,3 +204,61 @@ def test_unpicklable_shards_fall_back_to_sequential():
     # Force the parallel path; submission fails to pickle the shard
     # jobs and the sequential fallback must still produce the count.
     assert execute_sharded(plan, sharded, parallel=True) == execute(plan, bad)
+
+
+# ----------------------------------------------------------------------
+# Broadcast deadlock regression: a worker dying mid-broadcast
+# ----------------------------------------------------------------------
+def _die_holding_broadcast_task(job):
+    """Whichever worker wins the sentinel mkdir SIGKILLs itself *after*
+    taking its broadcast job but *before* reaching the barrier -- the
+    exact window where ``multiprocessing.Pool`` respawns the process
+    but never re-queues the taken job, so an untimed parent-side wait
+    would hang forever."""
+    import os
+    import signal
+
+    from repro.engine import pool as pool_module
+
+    sentinel, barrier, timeout = job
+    try:
+        os.mkdir(sentinel)
+    except FileExistsError:
+        pass
+    else:
+        os.kill(os.getpid(), signal.SIGKILL)
+    pool_module._await_broadcast_barrier(barrier, timeout)
+    return pool_module._TaskOk(True)
+
+
+def test_broadcast_worker_death_times_out_instead_of_deadlocking(tmp_path):
+    import time
+
+    from repro.engine.pool import pin_structures_task, pinned_fingerprints_task
+
+    graph = random_graph(10, 0.5, seed=3)
+    with WorkerPool(processes=2) as pool:
+        # Instance-level overrides: keep the regression fast without
+        # touching the class defaults other tests rely on.
+        pool.BROADCAST_BARRIER_TIMEOUT = 3.0
+        pool.BROADCAST_RESULT_GRACE = 2.0
+        # Recorded parent-side while the pool is cold; the restarted
+        # pool's initializer must rebuild exactly this pin set.
+        pool.pin_structures([graph])
+        started = time.monotonic()
+        confirmations = pool.broadcast(
+            _die_holding_broadcast_task, str(tmp_path / "suicide-sentinel")
+        )
+        elapsed = time.monotonic() - started
+        # The wedged broadcast degrades (zero confirmations) instead of
+        # blocking forever; well under the watchdog's 120s budget.
+        assert confirmations == []
+        assert pool.broadcast_timeouts == 1
+        assert elapsed < 30.0
+        # The pool restarted and is fully usable: a fresh broadcast
+        # reaches every worker, and the initializer rebuilt the pins.
+        rebuilt = pool.broadcast(pinned_fingerprints_task, None)
+        assert len(rebuilt) == 2
+        for worker_pins in rebuilt:
+            assert graph.fingerprint() in worker_pins
+        assert pool.broadcast(pin_structures_task, (graph,)) == [1, 1]

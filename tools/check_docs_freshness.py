@@ -1,17 +1,21 @@
 #!/usr/bin/env python
 """Fail when the docs drift from the code's canonical tables.
 
-Two checks, each asserting set equality in *both* directions:
+Three checks, each asserting set equality in *both* directions:
 
 - ``docs/http_api.md`` vs. the HTTP server's canonical route list
   :data:`repro.serve.httpd.ROUTES` (each route documented as a heading
   of the form ``### `METHOD /path```);
 - ``docs/observability.md`` vs. the Prometheus metric families
   :func:`repro.obs.prom.family_names` says a ``/metrics`` render
-  emits (each family mentioned by name somewhere in the page).
+  emits (each family mentioned by name somewhere in the page);
+- ``docs/cluster.md`` vs. the cluster wire protocol's frame-type
+  registry :data:`repro.cluster.proto.MESSAGE_TYPES` (each frame type
+  documented as a ``### `type``` heading).
 
-A route or metric added to the code without documentation, or
-documentation for one the code no longer emits, fails CI.
+A route, metric, or frame type added to the code without
+documentation, or documentation for one the code no longer has, fails
+CI.
 
 Usage (repo root)::
 
@@ -27,6 +31,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "http_api.md"
 OBS_DOC_PATH = REPO_ROOT / "docs" / "observability.md"
+CLUSTER_DOC_PATH = REPO_ROOT / "docs" / "cluster.md"
 
 #: The heading form the API reference uses for each endpoint.
 _HEADING = re.compile(
@@ -39,6 +44,9 @@ _METRIC_TOKEN = re.compile(r"\brepro_[a-z0-9_]+\b")
 
 #: Histogram sample suffixes that resolve to their base family.
 _HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+#: The heading form docs/cluster.md uses for each wire frame type.
+_FRAME_HEADING = re.compile(r"^#{2,4}\s+`([a-z_]+)`\s*$", re.MULTILINE)
 
 
 def documented_routes(text: str) -> set[tuple[str, str]]:
@@ -123,10 +131,50 @@ def check_metrics(doc_path: Path = OBS_DOC_PATH) -> list[str]:
     return problems
 
 
+def documented_frame_types(text: str) -> set[str]:
+    """Every frame type documented as a ``### `type``` heading."""
+    return set(_FRAME_HEADING.findall(text))
+
+
+def wire_frame_types() -> set[str]:
+    """The cluster protocol's canonical frame-type registry."""
+    from repro.cluster.proto import MESSAGE_TYPES
+
+    return set(MESSAGE_TYPES)
+
+
+def check_cluster(doc_path: Path = CLUSTER_DOC_PATH) -> list[str]:
+    """Drift between documented and registered wire frame types."""
+    problems: list[str] = []
+    if not doc_path.exists():
+        return [f"{doc_path} does not exist"]
+    documented = documented_frame_types(doc_path.read_text(encoding="utf-8"))
+    registered = wire_frame_types()
+    for frame_type in sorted(registered - documented):
+        problems.append(
+            f"frame type {frame_type!r} is in repro.cluster.proto."
+            f"MESSAGE_TYPES but has no ``### `{frame_type}``` heading in "
+            f"{doc_path.name}"
+        )
+    for frame_type in sorted(documented - registered):
+        problems.append(
+            f"{doc_path.name} documents frame type {frame_type!r}, which "
+            "is not in repro.cluster.proto.MESSAGE_TYPES (stale "
+            "documentation)"
+        )
+    if not documented:
+        problems.append(
+            f"{doc_path.name} documents no frame types at all -- the "
+            "heading format is ``### `type```"
+        )
+    return problems
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     problems = check()
     metric_problems = check_metrics()
+    cluster_problems = check_cluster()
     if problems:
         print("docs/http_api.md is out of sync with the HTTP route table:")
         for problem in problems:
@@ -138,13 +186,22 @@ def main() -> int:
         )
         for problem in metric_problems:
             print(f"  - {problem}")
-    if problems or metric_problems:
+    if cluster_problems:
+        print(
+            "docs/cluster.md is out of sync with the cluster wire "
+            "protocol:"
+        )
+        for problem in cluster_problems:
+            print(f"  - {problem}")
+    if problems or metric_problems or cluster_problems:
         return 1
     routes = len(registered_routes())
     metrics = len(emitted_metrics())
+    frames = len(wire_frame_types())
     print(
-        f"docs freshness OK: all {routes} HTTP routes and {metrics} "
-        "Prometheus metric families documented, none stale"
+        f"docs freshness OK: all {routes} HTTP routes, {metrics} "
+        f"Prometheus metric families, and {frames} cluster frame types "
+        "documented, none stale"
     )
     return 0
 
